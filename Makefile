@@ -1,0 +1,32 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet bench experiments results cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+# Scaled-down reproduction of every figure/table as Go benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime 1x .
+
+# Full experiment campaign: TSV per figure/table into results/.
+# Raise -warmup/-measure/-mixes for tighter numbers (slower).
+results:
+	$(GO) run ./cmd/mpppb-experiments -id all -out results
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	rm -rf results
+	$(GO) clean ./...

@@ -1,0 +1,353 @@
+// Command mpppb-experiments regenerates the paper's tables and figures.
+//
+// Each experiment writes TSV to stdout (or -out dir/<id>.tsv): the same
+// rows/series the paper plots. Examples:
+//
+//	mpppb-experiments -id fig6                  # single-thread speedups
+//	mpppb-experiments -id fig4 -mixes 100       # 4-core S-curve, 100 test mixes
+//	mpppb-experiments -id all -out results/
+//
+// Scale knobs: -warmup/-measure (instructions per run), -mixes (multi-core
+// workload count), -random/-climb (fig3 search budget). The defaults keep
+// the full suite tractable on a laptop; raise them for tighter numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mpppb/internal/core"
+	"mpppb/internal/experiments"
+	"mpppb/internal/plot"
+	"mpppb/internal/sim"
+	"mpppb/internal/workload"
+)
+
+type runner struct {
+	stCfg, mcCfg sim.Config
+	outDir       string
+	mixCount     int
+	ablateMixes  int
+	nRandom      int
+	climbSteps   int
+	rocSegs      int
+	table3Segs   int
+	progress     experiments.Progress
+	plot         bool
+	stPolicies   []string
+	mcPolicies   []string
+
+	// Cached tables so fig6/fig7 (and fig4/fig5) share their runs when
+	// regenerating multiple experiments in one invocation.
+	stTable *experiments.SingleThreadTable
+	mcTable *experiments.MultiCoreTable
+}
+
+// chart writes an ASCII chart as TSV comment lines when -plot is set.
+func (r *runner) chart(w io.Writer, rendered string) {
+	if !r.plot {
+		return
+	}
+	for _, line := range strings.Split(strings.TrimRight(rendered, "\n"), "\n") {
+		fmt.Fprintf(w, "# %s\n", line)
+	}
+}
+
+func main() {
+	var (
+		id      = flag.String("id", "all", "experiment id: fig3..fig10, table1, table3, or 'all'")
+		out     = flag.String("out", "", "directory for <id>.tsv files (default: stdout)")
+		warmup  = flag.Uint64("warmup", sim.DefaultWarmup, "warmup instructions per run")
+		measure = flag.Uint64("measure", sim.DefaultMeasure, "measured instructions per run")
+		mixes   = flag.Int("mixes", 40, "number of 4-core test mixes for fig4/fig5")
+		ablate  = flag.Int("ablate-mixes", 12, "number of mixes for fig9/fig10")
+		nRandom = flag.Int("random", 40, "random feature sets for fig3")
+		climb   = flag.Int("climb", 60, "hill-climb proposals for fig3")
+		rocSegs = flag.Int("roc-segments", 33, "segments pooled per predictor for fig8")
+		t3Segs  = flag.Int("table3-segments", 33, "segments for table3 leave-one-out")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+		charts  = flag.Bool("plot", false, "append ASCII charts as comment lines")
+		stPols  = flag.String("st-policies", "", "override single-thread policy list (comma-separated)")
+		mcPols  = flag.String("mc-policies", "", "override multi-core policy list (comma-separated)")
+	)
+	flag.Parse()
+
+	r := &runner{
+		stCfg:       sim.SingleThreadConfig(),
+		mcCfg:       sim.MultiCoreConfig(),
+		outDir:      *out,
+		plot:        *charts,
+		mixCount:    *mixes,
+		ablateMixes: *ablate,
+		nRandom:     *nRandom,
+		climbSteps:  *climb,
+		rocSegs:     *rocSegs,
+		table3Segs:  *t3Segs,
+	}
+	r.stCfg.Warmup, r.stCfg.Measure = *warmup, *measure
+	r.mcCfg.Warmup, r.mcCfg.Measure = *warmup, *measure
+	if *stPols != "" {
+		r.stPolicies = strings.Split(*stPols, ",")
+	} else {
+		r.stPolicies = experiments.DefaultSingleThreadPolicies()
+	}
+	if *mcPols != "" {
+		r.mcPolicies = strings.Split(*mcPols, ",")
+	} else {
+		r.mcPolicies = experiments.DefaultMultiCorePolicies()
+	}
+	if !*quiet {
+		r.progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	all := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table1", "table3"}
+	ids := []string{*id}
+	if *id == "all" {
+		ids = all
+	}
+	for _, one := range ids {
+		if err := r.run(one); err != nil {
+			fmt.Fprintf(os.Stderr, "mpppb-experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// output opens the TSV sink for an experiment.
+func (r *runner) output(id string) (io.WriteCloser, error) {
+	if r.outDir == "" {
+		fmt.Printf("# --- %s ---\n", id)
+		return nopCloser{os.Stdout}, nil
+	}
+	if err := os.MkdirAll(r.outDir, 0o755); err != nil {
+		return nil, err
+	}
+	return os.Create(filepath.Join(r.outDir, id+".tsv"))
+}
+
+type nopCloser struct{ io.Writer }
+
+func (nopCloser) Close() error { return nil }
+
+func (r *runner) run(id string) error {
+	w, err := r.output(id)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+
+	switch id {
+	case "fig3":
+		seg := experiments.TrainingSegments(8)
+		res := experiments.Fig3FeatureSearch(r.stCfg, seg, r.nRandom, r.climbSteps, 2017, r.progress)
+		fmt.Fprintf(w, "# Figure 3: feature search. references: LRU=%.3f MIN=%.3f hill-climbed=%.3f paper-set=%.3f (training MPKI, %d evaluations)\n",
+			res.LRUMPKI, res.MINMPKI, res.HillClimbed.MPKI, res.PaperSetMPKI, res.Evaluations)
+		fmt.Fprintln(w, "rank\trandom_set_mpki")
+		for i, m := range res.RandomMPKI {
+			fmt.Fprintf(w, "%d\t%.4f\n", i, m)
+		}
+		fmt.Fprintf(w, "# hill-climbed set:\n")
+		for _, f := range res.HillClimbed.Features {
+			fmt.Fprintf(w, "# %s\n", f)
+		}
+
+	case "fig4", "fig5":
+		t := r.multiTable()
+		if id == "fig4" {
+			fmt.Fprintf(w, "# Figure 4: normalized weighted speedup, %d mixes. geomeans:", len(t.Mixes))
+			for _, p := range t.Policies {
+				fmt.Fprintf(w, " %s=%.4f(below LRU: %d)", p, t.GeomeanSpeedup[p], t.BelowLRU[p])
+			}
+			fmt.Fprintln(w)
+			fmt.Fprintf(w, "rank\t%s\n", strings.Join(t.Policies, "\t"))
+			curves := map[string][]float64{}
+			for _, p := range t.Policies {
+				curves[p] = t.SpeedupSCurve(p)
+			}
+			for i := range t.Mixes {
+				fmt.Fprintf(w, "%d", i)
+				for _, p := range t.Policies {
+					fmt.Fprintf(w, "\t%.4f", curves[p][i])
+				}
+				fmt.Fprintln(w)
+			}
+			var series []plot.Series
+			for _, p := range t.Policies {
+				series = append(series, plot.Series{Name: p, Y: curves[p]})
+			}
+			r.chart(w, plot.Lines("Figure 4: weighted speedup over LRU, mixes sorted", 60, 12, series...))
+		} else {
+			fmt.Fprintf(w, "# Figure 5: MPKI S-curves, %d mixes. means: lru=%.2f", len(t.Mixes), t.MeanMPKI["lru"])
+			for _, p := range t.Policies {
+				fmt.Fprintf(w, " %s=%.2f", p, t.MeanMPKI[p])
+			}
+			fmt.Fprintln(w)
+			cols := append([]string{"lru"}, t.Policies...)
+			fmt.Fprintf(w, "rank\t%s\n", strings.Join(cols, "\t"))
+			curves := map[string][]float64{}
+			for _, p := range cols {
+				curves[p] = t.MPKISCurve(p)
+			}
+			for i := range t.Mixes {
+				fmt.Fprintf(w, "%d", i)
+				for _, p := range cols {
+					fmt.Fprintf(w, "\t%.3f", curves[p][i])
+				}
+				fmt.Fprintln(w)
+			}
+			var series []plot.Series
+			for _, p := range cols {
+				series = append(series, plot.Series{Name: p, Y: curves[p]})
+			}
+			r.chart(w, plot.Lines("Figure 5: MPKI, mixes sorted worst-to-best", 60, 12, series...))
+		}
+
+	case "fig6", "fig7":
+		t := r.singleTable()
+		cols := t.AllSingleThreadPolicies()
+		if id == "fig6" {
+			fmt.Fprintf(w, "# Figure 6: single-thread speedup over LRU. geomeans:")
+			for _, p := range cols {
+				fmt.Fprintf(w, " %s=%.4f", p, t.GeomeanSpeedup[p])
+			}
+			fmt.Fprintln(w)
+			fmt.Fprintf(w, "benchmark\t%s\n", strings.Join(cols, "\t"))
+			sortBy := "mpppb"
+			if _, ok := t.Speedup[sortBy]; !ok {
+				sortBy = t.Policies[len(t.Policies)-1]
+			}
+			order := t.BenchmarksBySpeedup(sortBy)
+			for _, b := range order {
+				fmt.Fprintf(w, "%s", b)
+				for _, p := range cols {
+					fmt.Fprintf(w, "\t%.4f", t.Speedup[p][b])
+				}
+				fmt.Fprintln(w)
+			}
+			vals := make([]float64, len(order))
+			for i, b := range order {
+				vals[i] = t.Speedup[sortBy][b]
+			}
+			r.chart(w, plot.Bars("Figure 6: MPPPB speedup over LRU", 40, order, vals))
+		} else {
+			fmt.Fprintf(w, "# Figure 7: single-thread MPKI. means:")
+			for _, p := range cols {
+				fmt.Fprintf(w, " %s=%.3f", p, t.MeanMPKI[p])
+			}
+			fmt.Fprintln(w)
+			fmt.Fprintf(w, "benchmark\t%s\n", strings.Join(cols, "\t"))
+			for _, b := range t.Benchmarks {
+				fmt.Fprintf(w, "%s", b)
+				for _, p := range cols {
+					fmt.Fprintf(w, "\t%.3f", t.MPKI[p][b])
+				}
+				fmt.Fprintln(w)
+			}
+		}
+
+	case "fig8", "fig1":
+		segs := workload.Segments()[:min(r.rocSegs, len(workload.Segments()))]
+		t := experiments.ROCCurves(r.stCfg, nil, segs, r.progress)
+		fmt.Fprintf(w, "# Figure 8: ROC curves. AUC:")
+		for _, p := range t.Predictors {
+			fmt.Fprintf(w, " %s=%.4f(TPR@30%%FPR=%.3f)", p, t.AUC[p], t.TPRAt30[p])
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "predictor\tthreshold\tfpr\ttpr")
+		for _, p := range t.Predictors {
+			for _, pt := range t.Curves[p] {
+				fmt.Fprintf(w, "%s\t%d\t%.4f\t%.4f\n", p, pt.Threshold, pt.FPR, pt.TPR)
+			}
+		}
+		var series []plot.Series
+		for _, p := range t.Predictors {
+			xs := make([]float64, len(t.Curves[p]))
+			ys := make([]float64, len(t.Curves[p]))
+			for i, pt := range t.Curves[p] {
+				xs[i], ys[i] = pt.FPR, pt.TPR
+			}
+			series = append(series, plot.Series{Name: p, X: xs, Y: ys})
+		}
+		r.chart(w, plot.Lines("Figure 8: ROC (FPR vs TPR)", 60, 14, series...))
+
+	case "fig9":
+		mixes := experiments.TestingMixes(workload.Mixes(r.ablateMixes*10, workload.DefaultMixSeed))[:r.ablateMixes]
+		res := experiments.Fig9UniformAssociativity(r.mcCfg, mixes, r.progress)
+		fmt.Fprintf(w, "# Figure 9: uniform associativity, %d mixes. original(variable A)=%.4f\n", len(mixes), res.OriginalWS)
+		fmt.Fprintln(w, "A\tweighted_speedup")
+		for a, ws := range res.UniformWS {
+			fmt.Fprintf(w, "%d\t%.4f\n", a+1, ws)
+		}
+		r.chart(w, plot.Lines("Figure 9: uniform associativity sweep", 54, 10,
+			plot.Series{Name: "uniform A", Y: res.UniformWS[:]}))
+
+	case "fig10":
+		mixes := experiments.TestingMixes(workload.Mixes(r.ablateMixes*10, workload.DefaultMixSeed))[:r.ablateMixes]
+		res := experiments.Fig10FeatureAblation(r.mcCfg, nil, mixes, r.progress)
+		fmt.Fprintf(w, "# Figure 10: leave-one-feature-out over Table 1(a), %d mixes. original=%.4f\n", len(mixes), res.OriginalWS)
+		fmt.Fprintln(w, "feature_omitted\tweighted_speedup")
+		labels := make([]string, len(res.Features))
+		for i, f := range res.Features {
+			fmt.Fprintf(w, "%s\t%.4f\n", f, res.OmittedWS[i])
+			labels[i] = f.String()
+		}
+		r.chart(w, plot.Bars("Figure 10: weighted speedup with feature omitted", 40, labels, res.OmittedWS))
+
+	case "table1", "table2":
+		fmt.Fprintln(w, "# Table 1(a), Table 1(b), Table 2: the paper's feature sets as compiled in.")
+		fmt.Fprintln(w, "set\tfeature\tindex_bits")
+		for _, set := range []struct {
+			name  string
+			feats []core.Feature
+		}{
+			{"1a", core.SingleThreadSetA()},
+			{"1b", core.SingleThreadSetB()},
+			{"2", core.MultiProgrammedSet()},
+		} {
+			for _, f := range set.feats {
+				fmt.Fprintf(w, "%s\t%s\t%d\n", set.name, f, f.IndexBits())
+			}
+		}
+
+	case "table3":
+		segs := workload.Segments()
+		if r.table3Segs < len(segs) {
+			segs = segs[:r.table3Segs]
+		}
+		rows := experiments.Table3FeatureBenefit(r.stCfg, nil, segs, r.progress)
+		fmt.Fprintln(w, "# Table 3: per-feature best segment (leave-one-out, Table 1(b) features)")
+		fmt.Fprintln(w, "feature\tsegment\tmpki_with\tmpki_without\tpct_increase")
+		for _, row := range rows {
+			fmt.Fprintf(w, "%s\t%s\t%.3f\t%.3f\t%.2f%%\n",
+				row.Feature, row.Segment, row.MPKIWith, row.MPKIWithout, row.PctIncrease)
+		}
+
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}
+
+func (r *runner) singleTable() *experiments.SingleThreadTable {
+	if r.stTable == nil {
+		r.stTable = experiments.SingleThread(r.stCfg, r.stPolicies, nil, r.progress)
+	}
+	return r.stTable
+}
+
+func (r *runner) multiTable() *experiments.MultiCoreTable {
+	mixes := experiments.TestingMixes(workload.Mixes(r.mixCount*10/9+1, workload.DefaultMixSeed))
+	if len(mixes) > r.mixCount {
+		mixes = mixes[:r.mixCount]
+	}
+	if r.mcTable == nil {
+		r.mcTable = experiments.MultiCore(r.mcCfg, r.mcPolicies, mixes, r.progress)
+	}
+	return r.mcTable
+}

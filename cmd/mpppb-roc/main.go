@@ -1,0 +1,76 @@
+// Command mpppb-roc extracts receiver-operating-characteristic curves for
+// the reuse predictors with comparable confidences (sdbp, perceptron,
+// mpppb), using the measurement-only mode of Section 6.3: predictions are
+// recorded but never applied, with the LLC under plain LRU.
+//
+//	mpppb-roc -bench gcc_like -seg 1 -predictor mpppb
+//	mpppb-roc -bench all -predictor sdbp,perceptron,mpppb -summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mpppb"
+	"mpppb/internal/sim"
+	"mpppb/internal/stats"
+	"mpppb/internal/workload"
+)
+
+func main() {
+	var (
+		bench      = flag.String("bench", "gcc_like", "benchmark, or 'all'")
+		seg        = flag.Int("seg", -1, "segment (0-2), or -1 for all")
+		predictors = flag.String("predictor", "sdbp,perceptron,mpppb", "comma-separated predictors")
+		warmup     = flag.Uint64("warmup", sim.DefaultWarmup, "warmup instructions")
+		measure    = flag.Uint64("measure", sim.DefaultMeasure, "measured instructions")
+		summary    = flag.Bool("summary", false, "print only AUC and band TPRs")
+	)
+	flag.Parse()
+
+	cfg := mpppb.SingleThreadConfig()
+	cfg.Warmup, cfg.Measure = *warmup, *measure
+
+	var ids []mpppb.SegmentID
+	for _, b := range workload.Benchmarks() {
+		if *bench != "all" && b != *bench {
+			continue
+		}
+		for s := 0; s < workload.SegmentsPerBenchmark; s++ {
+			if *seg >= 0 && s != *seg {
+				continue
+			}
+			ids = append(ids, mpppb.Segment(b, s))
+		}
+	}
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "no matching segments")
+		os.Exit(1)
+	}
+
+	for _, pred := range strings.Split(*predictors, ",") {
+		pred = strings.TrimSpace(pred)
+		var pool []stats.ROCSample
+		for _, id := range ids {
+			samples, err := mpppb.ROCSamples(cfg, id, pred)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			pool = append(pool, samples...)
+		}
+		curve := stats.ROC(pool)
+		fmt.Printf("# %s: %d samples, AUC=%.4f TPR@25%%=%.3f TPR@30%%=%.3f\n",
+			pred, len(pool), stats.AUC(curve),
+			stats.TPRAtFPR(curve, 0.25), stats.TPRAtFPR(curve, 0.30))
+		if *summary {
+			continue
+		}
+		fmt.Println("threshold\tfpr\ttpr")
+		for _, p := range curve {
+			fmt.Printf("%d\t%.4f\t%.4f\n", p.Threshold, p.FPR, p.TPR)
+		}
+	}
+}

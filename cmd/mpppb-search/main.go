@@ -1,0 +1,56 @@
+// Command mpppb-search runs the paper's feature-development methodology
+// (Section 5): evaluate a population of random 16-feature sets with the
+// fast MPKI-only simulator on a training subset of the suite, then refine
+// the best set by hill climbing. It prints the Figure 3-style summary and
+// the resulting feature set in the paper's notation.
+//
+//	mpppb-search -random 100 -climb 200 -training 12
+//	mpppb-search -random 40 -seed 7 -measure 2000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpppb/internal/experiments"
+	"mpppb/internal/sim"
+)
+
+func main() {
+	var (
+		nRandom  = flag.Int("random", 40, "random feature sets to evaluate (paper: 4000)")
+		climb    = flag.Int("climb", 80, "hill-climb proposals")
+		training = flag.Int("training", 8, "training segments drawn across the suite")
+		warmup   = flag.Uint64("warmup", 300_000, "warmup instructions per evaluation")
+		measure  = flag.Uint64("measure", 1_000_000, "measured instructions per evaluation")
+		seed     = flag.Uint64("seed", 2017, "search seed")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	cfg := sim.SingleThreadConfig()
+	cfg.Warmup, cfg.Measure = *warmup, *measure
+
+	var progress experiments.Progress
+	if !*quiet {
+		progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	res := experiments.Fig3FeatureSearch(cfg, experiments.TrainingSegments(*training),
+		*nRandom, *climb, *seed, progress)
+
+	fmt.Printf("random sets evaluated: %d (training MPKI %.3f worst .. %.3f best)\n",
+		len(res.RandomMPKI), res.RandomMPKI[0], res.RandomMPKI[len(res.RandomMPKI)-1])
+	fmt.Printf("hill-climbed:          %.3f MPKI\n", res.HillClimbed.MPKI)
+	fmt.Printf("paper set 1(b):        %.3f MPKI\n", res.PaperSetMPKI)
+	fmt.Printf("LRU reference:         %.3f MPKI\n", res.LRUMPKI)
+	fmt.Printf("MIN reference:         %.3f MPKI\n", res.MINMPKI)
+	fmt.Printf("fast-simulator runs:   %d\n", res.Evaluations)
+	fmt.Println("\nbest feature set found:")
+	for _, f := range res.HillClimbed.Features {
+		fmt.Printf("  %s\n", f)
+	}
+}

@@ -1,0 +1,96 @@
+// Command mpppb-sim runs one benchmark segment (or a whole benchmark, or
+// the full suite) under one or more LLC policies and prints IPC and MPKI.
+//
+// Examples:
+//
+//	mpppb-sim -bench mcf_like -policy lru,mpppb
+//	mpppb-sim -bench all -policy lru,hawkeye,perceptron,mpppb -measure 4000000
+//	mpppb-sim -bench libquantum_like -seg 1 -policy min
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"mpppb"
+	"mpppb/internal/sim"
+	"mpppb/internal/workload"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "mcf_like", "benchmark name, or 'all' for the whole suite")
+		seg      = flag.Int("seg", -1, "segment index (0-2), or -1 for all segments")
+		policies = flag.String("policy", "lru,mpppb", "comma-separated policy names (see -list)")
+		warmup   = flag.Uint64("warmup", sim.DefaultWarmup, "warmup instructions")
+		measure  = flag.Uint64("measure", sim.DefaultMeasure, "measured instructions")
+		list     = flag.Bool("list", false, "list benchmarks and policies, then exit")
+		verbose  = flag.Bool("v", false, "after mpppb runs, print decision counters and per-feature weight statistics")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("policies:", strings.Join(sim.PolicyNames(), " "), "min")
+		fmt.Println("benchmarks:")
+		classes := workload.Classes()
+		for _, b := range workload.Benchmarks() {
+			fmt.Printf("  %-22s %s\n", b, classes[b])
+		}
+		return
+	}
+
+	cfg := sim.SingleThreadConfig()
+	cfg.Warmup = *warmup
+	cfg.Measure = *measure
+
+	var benches []string
+	if *bench == "all" {
+		benches = workload.Benchmarks()
+	} else {
+		if !workload.Lookup(*bench) {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q (try -list)\n", *bench)
+			os.Exit(1)
+		}
+		benches = []string{*bench}
+	}
+	var segs []int
+	if *seg >= 0 {
+		segs = []int{*seg}
+	} else {
+		for s := 0; s < workload.SegmentsPerBenchmark; s++ {
+			segs = append(segs, s)
+		}
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "segment\tpolicy\tIPC\tMPKI\tLLC misses\tbypasses")
+	for _, b := range benches {
+		for _, s := range segs {
+			id := workload.SegmentID{Bench: b, Seg: s}
+			for _, pname := range strings.Split(*policies, ",") {
+				pname = strings.TrimSpace(pname)
+				var res mpppb.Result
+				var err error
+				if *verbose && strings.HasPrefix(pname, "mpppb") {
+					var info string
+					res, info, err = mpppb.RunVerbose(cfg, id, pname)
+					if err == nil {
+						defer fmt.Fprintf(os.Stderr, "\n--- %s on %s ---\n%s", pname, id, info)
+					}
+				} else {
+					res, err = mpppb.Run(cfg, id, pname)
+				}
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "%v\n", err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(w, "%s\t%s\t%.3f\t%.2f\t%d\t%d\n",
+					id, pname, res.IPC, res.MPKI, res.LLCMisses, res.Bypasses)
+			}
+		}
+	}
+	w.Flush()
+}

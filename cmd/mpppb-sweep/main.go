@@ -1,0 +1,82 @@
+// Command mpppb-sweep explores sensitivity beyond the paper's figures:
+// LLC capacity sweeps and DRAM-latency sweeps per policy, printed as TSV.
+// Useful for checking that the reproduction's policy orderings are not an
+// artifact of one cache size.
+//
+//	mpppb-sweep -bench sphinx3_like -policy lru,mpppb,min
+//	mpppb-sweep -bench gcc_like -dim mem -policy lru,mpppb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mpppb"
+	"mpppb/internal/sim"
+	"mpppb/internal/workload"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "sphinx3_like", "benchmark")
+		seg      = flag.Int("seg", 1, "segment")
+		policies = flag.String("policy", "lru,mpppb,min", "comma-separated policies")
+		dim      = flag.String("dim", "llc", "sweep dimension: llc (capacity) or mem (DRAM latency)")
+		warmup   = flag.Uint64("warmup", sim.DefaultWarmup, "warmup instructions")
+		measure  = flag.Uint64("measure", sim.DefaultMeasure, "measured instructions")
+	)
+	flag.Parse()
+
+	if !workload.Lookup(*bench) {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
+		os.Exit(1)
+	}
+	id := mpppb.Segment(*bench, *seg)
+	pols := strings.Split(*policies, ",")
+
+	type point struct {
+		label string
+		cfg   mpppb.Config
+	}
+	var points []point
+	base := mpppb.SingleThreadConfig()
+	base.Warmup, base.Measure = *warmup, *measure
+	switch *dim {
+	case "llc":
+		for _, mb := range []int{1, 2, 4, 8} {
+			cfg := base
+			cfg.LLCSize = mb << 20
+			points = append(points, point{fmt.Sprintf("%dMB", mb), cfg})
+		}
+	case "mem":
+		for _, lat := range []int{120, 240, 480} {
+			cfg := base
+			cfg.Lat.Mem = lat
+			points = append(points, point{fmt.Sprintf("%dcyc", lat), cfg})
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dimension %q (want llc or mem)\n", *dim)
+		os.Exit(1)
+	}
+
+	fmt.Printf("# sweep %s over %s, segment %s\n", *dim, strings.Join(pols, ","), id)
+	fmt.Printf("point")
+	for _, p := range pols {
+		fmt.Printf("\t%s_ipc\t%s_mpki", p, p)
+	}
+	fmt.Println()
+	for _, pt := range points {
+		fmt.Printf("%s", pt.label)
+		for _, p := range pols {
+			res, err := mpppb.Run(pt.cfg, id, strings.TrimSpace(p))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("\t%.3f\t%.2f", res.IPC, res.MPKI)
+		}
+		fmt.Println()
+	}
+}

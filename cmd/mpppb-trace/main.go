@@ -1,0 +1,169 @@
+// Command mpppb-trace captures, inspects, and replays binary trace files.
+// Traces decouple workload generation from simulation: capture a synthetic
+// suite segment once and replay it, or convert externally collected
+// program traces into this format and drive the simulator with them.
+//
+//	mpppb-trace -capture mcf_like-0 -n 2000000 -o mcf.trc
+//	mpppb-trace -stats mcf.trc
+//	mpppb-trace -replay mcf.trc -policy lru,mpppb
+//	mpppb-trace -import mytrace.csv -o mytrace.trc   # external traces
+//	mpppb-trace -export mcf.trc > mcf.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mpppb/internal/sim"
+	"mpppb/internal/trace"
+	"mpppb/internal/workload"
+)
+
+func main() {
+	var (
+		capture  = flag.String("capture", "", "segment to capture, e.g. mcf_like-0")
+		n        = flag.Int("n", 1_000_000, "records to capture")
+		out      = flag.String("o", "", "output trace file (with -capture)")
+		stats    = flag.String("stats", "", "trace file to summarize")
+		replay   = flag.String("replay", "", "trace file to simulate")
+		imp      = flag.String("import", "", "CSV trace to convert to binary (with -o)")
+		export   = flag.String("export", "", "binary trace to dump as CSV to stdout")
+		policies = flag.String("policy", "lru,mpppb", "policies for -replay")
+		warmup   = flag.Uint64("warmup", sim.DefaultWarmup, "warmup instructions for -replay")
+		measure  = flag.Uint64("measure", sim.DefaultMeasure, "measured instructions for -replay")
+	)
+	flag.Parse()
+
+	switch {
+	case *imp != "":
+		if *out == "" {
+			fatal("need -o with -import")
+		}
+		f, err := os.Open(*imp)
+		if err != nil {
+			fatal("%v", err)
+		}
+		recs, err := trace.ParseCSV(f)
+		f.Close()
+		if err != nil {
+			fatal("%v", err)
+		}
+		dst, err := os.Create(*out)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer dst.Close()
+		w, err := trace.NewWriter(dst)
+		if err != nil {
+			fatal("%v", err)
+		}
+		for _, r := range recs {
+			if err := w.Add(r); err != nil {
+				fatal("%v", err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("imported %d CSV records to %s\n", w.Count(), *out)
+
+	case *export != "":
+		if err := trace.WriteCSV(os.Stdout, load(*export)); err != nil {
+			fatal("%v", err)
+		}
+
+	case *capture != "":
+		if *out == "" {
+			fatal("need -o with -capture")
+		}
+		id, err := workload.ParseSegmentID(*capture)
+		if err != nil {
+			fatal("%v", err)
+		}
+		gen := workload.NewGenerator(id, workload.CoreBase(0))
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		w, err := trace.NewWriter(f)
+		if err != nil {
+			fatal("%v", err)
+		}
+		var rec trace.Record
+		var instr uint64
+		for i := 0; i < *n; i++ {
+			gen.Next(&rec)
+			if err := w.Add(rec); err != nil {
+				fatal("%v", err)
+			}
+			instr += rec.Instructions()
+		}
+		if err := w.Flush(); err != nil {
+			fatal("%v", err)
+		}
+		fi, _ := f.Stat()
+		fmt.Printf("captured %d records (%d instructions) of %s to %s (%d bytes, %.2f B/record)\n",
+			w.Count(), instr, id, *out, fi.Size(), float64(fi.Size())/float64(w.Count()))
+
+	case *stats != "":
+		recs := load(*stats)
+		var instr, writes uint64
+		blocks := map[uint64]struct{}{}
+		pcs := map[uint64]struct{}{}
+		for _, r := range recs {
+			instr += r.Instructions()
+			if r.IsWrite {
+				writes++
+			}
+			blocks[r.Block()] = struct{}{}
+			pcs[r.PC] = struct{}{}
+		}
+		fmt.Printf("records:        %d\n", len(recs))
+		fmt.Printf("instructions:   %d\n", instr)
+		fmt.Printf("stores:         %d (%.1f%%)\n", writes, 100*float64(writes)/float64(len(recs)))
+		fmt.Printf("distinct PCs:   %d\n", len(pcs))
+		fmt.Printf("footprint:      %d blocks (%.2f MB)\n", len(blocks),
+			float64(len(blocks))*trace.BlockSize/(1<<20))
+
+	case *replay != "":
+		recs := load(*replay)
+		gen := trace.NewReplayGenerator(*replay, recs)
+		cfg := sim.SingleThreadConfig()
+		cfg.Warmup, cfg.Measure = *warmup, *measure
+		for _, pname := range strings.Split(*policies, ",") {
+			pname = strings.TrimSpace(pname)
+			pf, err := sim.Policy(pname)
+			if err != nil {
+				fatal("%v", err)
+			}
+			res := sim.RunSingle(cfg, gen, pf)
+			fmt.Printf("%-14s IPC %.3f  MPKI %.2f  (replay wrapped %d times)\n",
+				pname, res.IPC, res.MPKI, gen.Wraps)
+		}
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func load(path string) []trace.Record {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	recs, err := trace.ReadAll(f)
+	if err != nil {
+		fatal("%v", err)
+	}
+	return recs
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mpppb-trace: "+format+"\n", args...)
+	os.Exit(1)
+}

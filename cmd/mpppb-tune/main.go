@@ -1,0 +1,67 @@
+// Command mpppb-tune searches MPPPB's threshold and position parameters
+// (τ0..τ4, π1..π3) by the paper's Section 5.5 methodology: exhaustive
+// sweep of the bypass threshold τ0, then random feasible combinations of
+// the remaining parameters, minimizing average MPKI over a training subset
+// of the suite.
+//
+//	mpppb-tune -mode st -segments 12 -combos 200
+//	mpppb-tune -mode mp -combos 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpppb/internal/core"
+	"mpppb/internal/experiments"
+	"mpppb/internal/search"
+	"mpppb/internal/sim"
+	"mpppb/internal/xrand"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "st", "st (single-thread/MDPP) or mp (multi-core feature set, SRRIP)")
+		segments = flag.Int("segments", 12, "training segments")
+		combos   = flag.Int("combos", 200, "random feasible combinations to try")
+		warmup   = flag.Uint64("warmup", 400_000, "warmup instructions")
+		measure  = flag.Uint64("measure", 1_200_000, "measured instructions")
+		seed     = flag.Uint64("seed", 55, "search seed")
+		tau0step = flag.Int("tau0-step", 16, "exhaustive tau0 sweep step")
+	)
+	flag.Parse()
+
+	cfg := sim.SingleThreadConfig()
+	params := core.SingleThreadParams()
+	if *mode == "mp" {
+		params = core.MultiCoreParams()
+		params.Cores = 1 // tuned on single-thread MPKI runs, as a fast proxy
+	}
+	cfg.Warmup, cfg.Measure = *warmup, *measure
+
+	ev := &search.ThresholdEvaluator{Cfg: cfg, Training: experiments.TrainingSegments(*segments)}
+	fmt.Fprintf(os.Stderr, "training on %d segments\n", len(ev.Training))
+
+	base := ev.MPKI(params)
+	fmt.Fprintf(os.Stderr, "baseline %.4f MPKI (tau0=%d tau=%d,%d,%d,%d pi=%v)\n",
+		base, params.Tau0, params.Tau1, params.Tau2, params.Tau3, params.Tau4, params.Pi)
+
+	tau0, m := ev.SearchTau0(params, 0, core.ConfMax, *tau0step, func(t int, m float64) {
+		fmt.Fprintf(os.Stderr, "tau0=%-4d %.4f\n", t, m)
+	})
+	params.Tau0 = tau0
+	fmt.Fprintf(os.Stderr, "best tau0=%d (%.4f MPKI)\n", tau0, m)
+
+	rng := xrand.New(*seed)
+	best, bestMPKI := search.SearchThresholds(ev, rng, params, *combos, func(i int, b float64) {
+		if (i+1)%20 == 0 {
+			fmt.Fprintf(os.Stderr, "combo %d/%d best %.4f\n", i+1, *combos, b)
+		}
+	})
+
+	fmt.Printf("mode=%s evaluations=%d\n", *mode, ev.Evals)
+	fmt.Printf("baseline MPKI %.4f -> tuned %.4f\n", base, bestMPKI)
+	fmt.Printf("Tau0: %d\nTau1: %d\nTau2: %d\nTau3: %d\nTau4: %d\nPi:   %v\n",
+		best.Tau0, best.Tau1, best.Tau2, best.Tau3, best.Tau4, best.Pi)
+}

@@ -1,0 +1,42 @@
+// feature-search: a miniature version of the paper's Section 5 feature
+// development flow (Figure 3). Generates random 16-feature sets, evaluates
+// them with the fast MPKI-only simulator on a few training segments, hill
+// climbs from the best, and compares against the paper's published set.
+//
+//	go run ./examples/feature-search
+//	go run ./examples/feature-search -random 20 -climb 30
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"mpppb"
+)
+
+func main() {
+	nRandom := flag.Int("random", 8, "random feature sets to evaluate")
+	climb := flag.Int("climb", 12, "hill-climb proposals")
+	flag.Parse()
+
+	res := mpppb.FeatureSearch(mpppb.FeatureSearchOptions{
+		RandomSets: *nRandom,
+		ClimbSteps: *climb,
+		Training:   4,
+		Warmup:     150_000,
+		Measure:    500_000,
+		Seed:       2017,
+	})
+
+	fmt.Printf("evaluated %d random sets on %d training segments (%d fast sims)\n",
+		*nRandom, 4, res.Evaluations)
+	fmt.Printf("  worst random set: %.3f MPKI\n", res.RandomMPKI[0])
+	fmt.Printf("  best random set:  %.3f MPKI\n", res.BestRandom.MPKI)
+	fmt.Printf("  after hill climb: %.3f MPKI\n", res.HillClimbed.MPKI)
+	fmt.Printf("  paper's set 1(b): %.3f MPKI\n", res.PaperSetMPKI)
+	fmt.Printf("  LRU / MIN:        %.3f / %.3f MPKI\n", res.LRUMPKI, res.MINMPKI)
+	fmt.Println("hill-climbed features:")
+	for _, f := range res.HillClimbed.Features {
+		fmt.Printf("  %s\n", f)
+	}
+}

@@ -1,0 +1,70 @@
+// policy-compare: a small single-thread bake-off in the style of the
+// paper's Figure 6. Runs a handful of benchmarks under every realistic
+// policy plus Bélády's MIN, and reports per-benchmark speedups over LRU
+// and the geometric mean.
+//
+//	go run ./examples/policy-compare
+//	go run ./examples/policy-compare -bench gcc_like,sphinx3_like -measure 4000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"mpppb"
+)
+
+func main() {
+	benchFlag := flag.String("bench",
+		"libquantum_like,sphinx3_like,gcc_like,lbm_like,h264ref_like,povray_like",
+		"comma-separated benchmarks")
+	measure := flag.Uint64("measure", 1_500_000, "measured instructions")
+	flag.Parse()
+
+	cfg := mpppb.SingleThreadConfig()
+	cfg.Warmup = *measure / 4
+	cfg.Measure = *measure
+
+	policies := []string{"hawkeye", "perceptron", "mpppb", "min"}
+	benches := strings.Split(*benchFlag, ",")
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintf(w, "benchmark\t%s\n", strings.Join(policies, "\t"))
+
+	geo := map[string]float64{}
+	for _, p := range policies {
+		geo[p] = 1
+	}
+	for _, bench := range benches {
+		bench = strings.TrimSpace(bench)
+		// Use segment 0 of each benchmark for brevity.
+		seg := mpppb.Segment(bench, 0)
+		lru, err := mpppb.Run(cfg, seg, "lru")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%s", bench)
+		for _, p := range policies {
+			res, err := mpppb.Run(cfg, seg, p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sp := res.IPC / lru.IPC
+			geo[p] *= sp
+			fmt.Fprintf(w, "\t%.3f", sp)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "geomean")
+	n := float64(len(benches))
+	for _, p := range policies {
+		fmt.Fprintf(w, "\t%.3f", math.Pow(geo[p], 1/n))
+	}
+	fmt.Fprintln(w)
+	w.Flush()
+}

@@ -1,0 +1,36 @@
+// Quickstart: simulate one benchmark under LRU and under the paper's
+// MPPPB policy, and print the improvement.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpppb"
+)
+
+func main() {
+	cfg := mpppb.SingleThreadConfig()
+	// Keep the example fast: a few million instructions are enough to see
+	// the effect on an LLC-thrashing workload.
+	cfg.Warmup = 500_000
+	cfg.Measure = 2_000_000
+
+	seg := mpppb.Segment("libquantum_like", 0)
+
+	lru, err := mpppb.Run(cfg, seg, "lru")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mp, err := mpppb.Run(cfg, seg, "mpppb")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s\n", seg)
+	fmt.Printf("  LRU:    IPC %.3f, MPKI %.2f\n", lru.IPC, lru.MPKI)
+	fmt.Printf("  MPPPB:  IPC %.3f, MPKI %.2f (%d fills bypassed)\n", mp.IPC, mp.MPKI, mp.Bypasses)
+	fmt.Printf("  speedup over LRU: %.2fx\n", mp.IPC/lru.IPC)
+}

@@ -1,0 +1,74 @@
+// trace-replay: capture a workload segment to a binary trace file, then
+// replay it through the simulator under two policies. The same path feeds
+// externally collected program traces to the simulator (see
+// cmd/mpppb-trace and the trace package's file format).
+//
+//	go run ./examples/trace-replay
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"mpppb"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "mpppb-trace")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "sphinx3.trc")
+
+	// Capture 800k records of a thrash-loop segment.
+	gen := mpppb.NewGenerator(mpppb.Segment("sphinx3_like", 1), 0)
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := mpppb.NewTraceWriter(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rec mpppb.TraceRecord
+	for i := 0; i < 800_000; i++ {
+		gen.Next(&rec)
+		if err := w.Add(rec); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fi, _ := os.Stat(path)
+	fmt.Printf("captured %d records to %s (%.2f MB, %.2f bytes/record)\n",
+		w.Count(), path, float64(fi.Size())/(1<<20), float64(fi.Size())/float64(w.Count()))
+
+	// Replay under LRU and MPPPB.
+	data, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recs, err := mpppb.ReadTrace(data)
+	data.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := mpppb.SingleThreadConfig()
+	cfg.Warmup = 400_000
+	cfg.Measure = 1_200_000
+	for _, pol := range []string{"lru", "mpppb"} {
+		res, err := mpppb.RunTrace(cfg, "sphinx3.trc", recs, pol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s IPC %.3f  MPKI %.2f\n", pol, res.IPC, res.MPKI)
+	}
+}

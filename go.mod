@@ -1,0 +1,3 @@
+module mpppb
+
+go 1.22

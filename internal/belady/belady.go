@@ -1,0 +1,173 @@
+// Package belady implements Bélády's MIN optimal replacement policy,
+// extended to provide optimal bypass, as the paper's upper-bound comparison
+// for single-thread workloads (Section 4.3).
+//
+// MIN needs future knowledge, so it runs in two passes. The key soundness
+// property (documented in DESIGN.md) is that the LLC reference stream is
+// independent of the LLC's replacement policy: L1/L2 are fixed LRU and the
+// prefetcher trains on L1 misses, and bypassed blocks are still delivered
+// to the upper levels. Pass one records the LLC's demand+prefetch
+// reference stream under LRU; pass two replays the workload with a policy
+// that knows, for each reference, when its block is referenced next.
+package belady
+
+import (
+	"fmt"
+
+	"mpppb/internal/cache"
+	"mpppb/internal/trace"
+)
+
+// infinity marks "never referenced again".
+const infinity = int64(1) << 62
+
+// Recorder wraps an LLC replacement policy and records the callback-visible
+// reference stream (demand and prefetch accesses; writebacks are excluded,
+// matching the replay policy).
+type Recorder struct {
+	inner  cache.ReplacementPolicy
+	blocks []uint64
+}
+
+// NewRecorder wraps inner (normally LRU).
+func NewRecorder(inner cache.ReplacementPolicy) *Recorder {
+	return &Recorder{inner: inner}
+}
+
+// Stream returns the recorded block-address sequence.
+func (r *Recorder) Stream() []uint64 { return r.blocks }
+
+// Name implements cache.ReplacementPolicy.
+func (r *Recorder) Name() string { return "recorder(" + r.inner.Name() + ")" }
+
+// Hit implements cache.ReplacementPolicy.
+func (r *Recorder) Hit(set, way int, a cache.Access) {
+	if a.Type != trace.Writeback {
+		r.blocks = append(r.blocks, a.Block())
+	}
+	r.inner.Hit(set, way, a)
+}
+
+// Victim implements cache.ReplacementPolicy.
+func (r *Recorder) Victim(set int, a cache.Access) (int, bool) {
+	return r.inner.Victim(set, a)
+}
+
+// Fill implements cache.ReplacementPolicy.
+func (r *Recorder) Fill(set, way int, a cache.Access) {
+	if a.Type != trace.Writeback {
+		r.blocks = append(r.blocks, a.Block())
+	}
+	r.inner.Fill(set, way, a)
+}
+
+// Evict implements cache.ReplacementPolicy.
+func (r *Recorder) Evict(set, way int, blockAddr uint64) { r.inner.Evict(set, way, blockAddr) }
+
+var _ cache.ReplacementPolicy = (*Recorder)(nil)
+
+// NextUse computes, for each position i in the block stream, the position
+// of the next reference to the same block (or infinity).
+func NextUse(stream []uint64) []int64 {
+	next := make([]int64, len(stream))
+	last := make(map[uint64]int64, 1<<16)
+	for i := len(stream) - 1; i >= 0; i-- {
+		if n, ok := last[stream[i]]; ok {
+			next[i] = n
+		} else {
+			next[i] = infinity
+		}
+		last[stream[i]] = int64(i)
+	}
+	return next
+}
+
+// MIN is the optimal replacement-and-bypass policy. It consumes the
+// recorded stream in lockstep with the cache's callbacks: every demand or
+// prefetch access to the LLC advances the cursor exactly once (on Hit, on
+// Fill, or on a bypass decision inside Victim).
+type MIN struct {
+	ways    int
+	stream  []uint64
+	nextUse []int64
+	cursor  int64
+	// frameNext[set*ways+way] is the next-use position of the block in
+	// that frame.
+	frameNext []int64
+	// Bypass enables optimal bypass in addition to optimal replacement.
+	Bypass bool
+}
+
+// NewMIN constructs the replay policy from a recorded stream.
+func NewMIN(sets, ways int, stream []uint64) *MIN {
+	m := &MIN{
+		ways:      ways,
+		stream:    stream,
+		nextUse:   NextUse(stream),
+		frameNext: make([]int64, sets*ways),
+		Bypass:    true,
+	}
+	for i := range m.frameNext {
+		m.frameNext[i] = infinity
+	}
+	return m
+}
+
+// check verifies the replay is in lockstep with the recorded stream.
+func (m *MIN) check(a cache.Access) {
+	if m.cursor >= int64(len(m.stream)) {
+		panic("belady: replay ran past the recorded stream")
+	}
+	if m.stream[m.cursor] != a.Block() {
+		panic(fmt.Sprintf("belady: replay diverged at %d: recorded block %#x, saw %#x",
+			m.cursor, m.stream[m.cursor], a.Block()))
+	}
+}
+
+// Name implements cache.ReplacementPolicy.
+func (m *MIN) Name() string { return "min" }
+
+// Hit implements cache.ReplacementPolicy.
+func (m *MIN) Hit(set, way int, a cache.Access) {
+	if a.Type == trace.Writeback {
+		return
+	}
+	m.check(a)
+	m.frameNext[set*m.ways+way] = m.nextUse[m.cursor]
+	m.cursor++
+}
+
+// Victim implements cache.ReplacementPolicy: evict the block referenced
+// farthest in the future; with Bypass, do not cache a block whose own next
+// use is farther than every resident block's.
+func (m *MIN) Victim(set int, a cache.Access) (int, bool) {
+	m.check(a)
+	base := set * m.ways
+	worst, worstNext := 0, int64(-1)
+	for w := 0; w < m.ways; w++ {
+		if n := m.frameNext[base+w]; n > worstNext {
+			worst, worstNext = w, n
+		}
+	}
+	if m.Bypass && m.nextUse[m.cursor] >= worstNext {
+		// The incoming block is the farthest-future of them all: skip it.
+		m.cursor++
+		return 0, true
+	}
+	return worst, false
+}
+
+// Fill implements cache.ReplacementPolicy.
+func (m *MIN) Fill(set, way int, a cache.Access) {
+	if a.Type == trace.Writeback {
+		return
+	}
+	m.check(a)
+	m.frameNext[set*m.ways+way] = m.nextUse[m.cursor]
+	m.cursor++
+}
+
+// Evict implements cache.ReplacementPolicy.
+func (m *MIN) Evict(set, way int, _ uint64) { m.frameNext[set*m.ways+way] = infinity }
+
+var _ cache.ReplacementPolicy = (*MIN)(nil)

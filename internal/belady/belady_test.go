@@ -1,0 +1,185 @@
+package belady
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mpppb/internal/cache"
+	"mpppb/internal/policy"
+	"mpppb/internal/trace"
+	"mpppb/internal/xrand"
+)
+
+func load(block uint64) cache.Access {
+	return cache.Access{Addr: block << trace.BlockBits, Type: trace.Load, PC: 0x400}
+}
+
+func TestNextUse(t *testing.T) {
+	stream := []uint64{1, 2, 1, 3, 2, 1}
+	next := NextUse(stream)
+	want := []int64{2, 4, 5, infinity, infinity, infinity}
+	for i := range want {
+		if next[i] != want[i] {
+			t.Fatalf("next[%d] = %d, want %d", i, next[i], want[i])
+		}
+	}
+	if NextUse(nil) != nil && len(NextUse(nil)) != 0 {
+		t.Fatal("NextUse(nil) not empty")
+	}
+}
+
+// runWithPolicy drives a block stream through a tiny cache and returns the
+// miss count (fills + bypasses).
+func runWithPolicy(stream []uint64, sets, ways int, pol cache.ReplacementPolicy) uint64 {
+	c := cache.New("t", sets, ways, pol)
+	for _, b := range stream {
+		c.Access(load(b))
+	}
+	return c.Stats.DemandMisses
+}
+
+// record captures the reference stream via a Recorder over LRU.
+func record(stream []uint64, sets, ways int) *Recorder {
+	rec := NewRecorder(policy.NewLRU(sets, ways))
+	c := cache.New("t", sets, ways, rec)
+	for _, b := range stream {
+		c.Access(load(b))
+	}
+	return rec
+}
+
+func TestRecorderCapturesStream(t *testing.T) {
+	stream := []uint64{1, 2, 1, 3, 2, 1, 9, 9}
+	rec := record(stream, 2, 2)
+	got := rec.Stream()
+	if len(got) != len(stream) {
+		t.Fatalf("recorded %d of %d accesses", len(got), len(stream))
+	}
+	for i := range stream {
+		if got[i] != stream[i] {
+			t.Fatalf("recorded[%d] = %d, want %d", i, got[i], stream[i])
+		}
+	}
+}
+
+func TestRecorderSkipsWritebacks(t *testing.T) {
+	rec := NewRecorder(policy.NewLRU(1, 2))
+	c := cache.New("t", 1, 2, rec)
+	c.Access(load(1))
+	c.Access(cache.Access{Addr: 1 << trace.BlockBits, Type: trace.Writeback})
+	if len(rec.Stream()) != 1 {
+		t.Fatalf("writeback recorded: stream %v", rec.Stream())
+	}
+}
+
+func TestMINOptimalOnCyclicThrash(t *testing.T) {
+	// Cyclic access to W+1 blocks in a W-way set: LRU misses always, MIN
+	// keeps W-1 of them resident.
+	var stream []uint64
+	for round := 0; round < 50; round++ {
+		for b := uint64(0); b < 5; b++ {
+			stream = append(stream, b*4) // same set (4 sets: block%4==0 -> set 0)
+		}
+	}
+	lruMisses := runWithPolicy(stream, 4, 4, policy.NewLRU(4, 4))
+	rec := record(stream, 4, 4)
+	min := NewMIN(4, 4, rec.Stream())
+	minMisses := runWithPolicy(stream, 4, 4, min)
+	if lruMisses != uint64(len(stream)) {
+		t.Fatalf("LRU misses %d, expected full thrash %d", lruMisses, len(stream))
+	}
+	// MIN: first round all 5 miss; then one miss per round.
+	if minMisses > uint64(5+49*1) {
+		t.Fatalf("MIN misses %d, want <= %d", minMisses, 5+49)
+	}
+}
+
+func TestMINNeverWorseThanLRUOrPLRU(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(func(seed uint64, n uint16) bool {
+		rng := xrand.New(seed)
+		length := int(n%2000) + 100
+		stream := make([]uint64, length)
+		for i := range stream {
+			// Mix of hot and cold blocks.
+			if rng.Intn(2) == 0 {
+				stream[i] = rng.Uint64n(8)
+			} else {
+				stream[i] = 8 + rng.Uint64n(256)
+			}
+		}
+		lruMisses := runWithPolicy(stream, 2, 4, policy.NewLRU(2, 4))
+		rec := record(stream, 2, 4)
+		minMisses := runWithPolicy(stream, 2, 4, NewMIN(2, 4, rec.Stream()))
+		return minMisses <= lruMisses
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMINWithoutBypassStillOptimalish(t *testing.T) {
+	rng := xrand.New(42)
+	stream := make([]uint64, 3000)
+	for i := range stream {
+		stream[i] = rng.Uint64n(64)
+	}
+	rec := record(stream, 2, 4)
+	withBypass := NewMIN(2, 4, rec.Stream())
+	missA := runWithPolicy(stream, 2, 4, withBypass)
+	noBypass := NewMIN(2, 4, rec.Stream())
+	noBypass.Bypass = false
+	missB := runWithPolicy(stream, 2, 4, noBypass)
+	if missA > missB {
+		t.Fatalf("bypass made MIN worse: %d > %d", missA, missB)
+	}
+}
+
+func TestMINReplayDivergencePanics(t *testing.T) {
+	rec := record([]uint64{1, 2, 3}, 1, 2)
+	min := NewMIN(1, 2, rec.Stream())
+	c := cache.New("t", 1, 2, min)
+	c.Access(load(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("divergent replay did not panic")
+		}
+	}()
+	c.Access(load(9)) // recorded stream says block 2
+}
+
+func TestMINRunsPastStreamPanics(t *testing.T) {
+	rec := record([]uint64{1}, 1, 2)
+	min := NewMIN(1, 2, rec.Stream())
+	c := cache.New("t", 1, 2, min)
+	c.Access(load(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("replay past stream end did not panic")
+		}
+	}()
+	c.Access(load(1))
+}
+
+func TestMINBypassesNeverUsedBlocks(t *testing.T) {
+	// Blocks 100.. are touched once each (dead on arrival); blocks 0..3
+	// loop. Once the set fills, MIN must bypass the one-shot blocks.
+	var stream []uint64
+	for i := 0; i < 200; i++ {
+		stream = append(stream, uint64(i%4)*1) // set 0 of 1 set
+		stream = append(stream, uint64(100+i))
+	}
+	rec := record(stream, 1, 4)
+	min := NewMIN(1, 4, rec.Stream())
+	c := cache.New("t", 1, 4, min)
+	for _, b := range stream {
+		c.Access(load(b))
+	}
+	if c.Stats.Bypasses == 0 {
+		t.Fatal("MIN never bypassed dead-on-arrival blocks")
+	}
+	// The four hot blocks should essentially always hit after warmup.
+	hitRate := float64(c.Stats.DemandHits) / float64(c.Stats.DemandAccesses)
+	if hitRate < 0.45 {
+		t.Fatalf("hit rate %.3f with optimal bypass, want ~0.5", hitRate)
+	}
+}

@@ -1,0 +1,347 @@
+// Package cache implements the set-associative cache model and the
+// three-level hierarchy used by the simulator, mirroring the methodology of
+// Section 4.1 of the paper: 32KB 8-way L1 data cache, 256KB 8-way unified
+// L2, and a 16-way last-level cache of 2MB (single-thread) or 8MB
+// (multi-programmed), with 64-byte blocks throughout and a 200-cycle DRAM
+// latency.
+//
+// Replacement decisions are delegated to a ReplacementPolicy, which is where
+// LRU, SRRIP, MDPP, the baselines (SDBP, Perceptron, Hawkeye) and the
+// paper's MPPPB all plug in. Policies see every lookup outcome via
+// Hit/Victim/Fill/Evict callbacks; Victim may additionally request bypass,
+// which the paper's techniques use for dead-on-arrival blocks.
+package cache
+
+import (
+	"fmt"
+
+	"mpppb/internal/trace"
+)
+
+// Access is a single reference presented to a cache.
+type Access struct {
+	// PC is the address of the memory instruction responsible (the fake
+	// trace.PrefetchPC for hardware prefetches).
+	PC uint64
+	// Addr is the byte address referenced.
+	Addr uint64
+	// Type is the access type (load, store, prefetch, writeback).
+	Type trace.AccessType
+	// Core identifies the requesting core in multi-core simulations.
+	Core int
+	// Now is the current cycle, used for prefetch-timeliness modelling
+	// (zero in untimed runs).
+	Now uint64
+}
+
+// Block returns the block address of the access.
+func (a Access) Block() uint64 { return a.Addr >> trace.BlockBits }
+
+// Offset returns the byte offset of the access within its block.
+func (a Access) Offset() uint64 { return a.Addr & (trace.BlockSize - 1) }
+
+// IsDemand reports whether the access is a demand load or store.
+func (a Access) IsDemand() bool { return a.Type == trace.Load || a.Type == trace.Store }
+
+// blockFrame is one cache frame. It stores the full block address rather
+// than a tag: sets are indexed by low block-address bits, so the full
+// address doubles as the tag with no loss.
+type blockFrame struct {
+	addr       uint64 // full block address
+	readyAt    uint64 // cycle at which the block's data arrives
+	valid      bool
+	dirty      bool
+	prefetched bool // filled by a prefetch and not yet demand-referenced
+}
+
+// ReplacementPolicy receives lookup outcomes and chooses victims for one
+// cache. Implementations are constructed for a specific geometry (number of
+// sets and ways) and must only be attached to a cache with that geometry.
+type ReplacementPolicy interface {
+	// Name identifies the policy, e.g. "lru" or "mpppb-mdpp".
+	Name() string
+	// Hit is invoked when a lookup hits way `way` of set `set`.
+	Hit(set, way int, a Access)
+	// Victim chooses the way to evict for an incoming fill into `set`, or
+	// returns bypass=true to not cache the block at all. It is only
+	// consulted when the set has no invalid frame. The returned way is
+	// ignored when bypass is true.
+	Victim(set int, a Access) (way int, bypass bool)
+	// Fill is invoked after the incoming block is installed in (set, way),
+	// including fills into previously-invalid frames.
+	Fill(set, way int, a Access)
+	// Evict is invoked when the valid block at (set, way) is about to be
+	// replaced or invalidated. blockAddr is the full block address of the
+	// victim.
+	Evict(set, way int, blockAddr uint64)
+}
+
+// Stats aggregates per-cache event counts. Demand statistics exclude
+// prefetch and writeback traffic; MPKI in the paper is demand misses per
+// kilo-instruction.
+type Stats struct {
+	Accesses       uint64 // all lookups
+	Hits           uint64
+	Misses         uint64
+	DemandAccesses uint64
+	DemandHits     uint64
+	DemandMisses   uint64
+	// Prefetch statistics cover hardware-prefetch lookups; the paper-style
+	// MPKI metric counts demand and prefetch misses together.
+	PrefetchAccesses uint64
+	PrefetchMisses   uint64
+	PrefetchFills    uint64 // blocks installed by prefetches
+	Bypasses         uint64 // fills the policy chose not to cache
+	Evictions        uint64 // valid blocks replaced
+	Writebacks       uint64 // dirty blocks evicted
+}
+
+// Result describes the outcome of one cache access.
+type Result struct {
+	// Hit reports whether the lookup hit.
+	Hit bool
+	// Bypassed reports whether the policy declined to cache a missing block.
+	Bypassed bool
+	// Set and Way locate the block touched or filled (meaningless when
+	// Bypassed).
+	Set, Way int
+	// EvictedValid reports whether a valid block was evicted by the fill.
+	EvictedValid bool
+	// EvictedAddr is the block address of the eviction victim.
+	EvictedAddr uint64
+	// EvictedDirty reports whether the victim was dirty (needs writeback).
+	EvictedDirty bool
+	// ReadyAt is the hit block's data-arrival cycle (prefetch timeliness);
+	// zero when the data is already present.
+	ReadyAt uint64
+}
+
+// Cache is one level of set-associative cache.
+type Cache struct {
+	name    string
+	sets    int
+	ways    int
+	setMask uint64
+	frames  []blockFrame // sets*ways, row-major by set
+	policy  ReplacementPolicy
+
+	// Stats accumulates event counts; callers may read or reset it
+	// between measurement phases.
+	Stats Stats
+}
+
+// New constructs a cache with the given geometry. sizeBytes must be
+// sets*ways*trace.BlockSize; the constructor takes sets and ways directly
+// to keep geometry errors loud. The number of sets must be a power of two.
+func New(name string, sets, ways int, policy ReplacementPolicy) *Cache {
+	if sets <= 0 || ways <= 0 {
+		panic(fmt.Sprintf("cache %s: non-positive geometry %dx%d", name, sets, ways))
+	}
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: sets %d is not a power of two", name, sets))
+	}
+	return &Cache{
+		name:    name,
+		sets:    sets,
+		ways:    ways,
+		setMask: uint64(sets - 1),
+		frames:  make([]blockFrame, sets*ways),
+		policy:  policy,
+	}
+}
+
+// NewBySize constructs a cache from a total size in bytes and associativity.
+func NewBySize(name string, sizeBytes, ways int, policy ReplacementPolicy) *Cache {
+	blocks := sizeBytes / trace.BlockSize
+	if blocks%ways != 0 {
+		panic(fmt.Sprintf("cache %s: size %d not divisible into %d ways", name, sizeBytes, ways))
+	}
+	return New(name, blocks/ways, ways, policy)
+}
+
+// Name returns the cache's identifying name.
+func (c *Cache) Name() string { return c.name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// SizeBytes returns the total capacity in bytes.
+func (c *Cache) SizeBytes() int { return c.sets * c.ways * trace.BlockSize }
+
+// Policy returns the attached replacement policy.
+func (c *Cache) Policy() ReplacementPolicy { return c.policy }
+
+// SetIndex returns the set index for a block address.
+func (c *Cache) SetIndex(blockAddr uint64) int { return int(blockAddr & c.setMask) }
+
+func (c *Cache) frame(set, way int) *blockFrame { return &c.frames[set*c.ways+way] }
+
+// Lookup probes the cache without changing any state. It returns the way
+// holding the block, or -1 on a miss.
+func (c *Cache) Lookup(blockAddr uint64) (set, way int) {
+	set = c.SetIndex(blockAddr)
+	for w := 0; w < c.ways; w++ {
+		f := c.frame(set, w)
+		if f.valid && f.addr == blockAddr {
+			return set, w
+		}
+	}
+	return set, -1
+}
+
+// Contains reports whether the block is present.
+func (c *Cache) Contains(blockAddr uint64) bool {
+	_, way := c.Lookup(blockAddr)
+	return way >= 0
+}
+
+// BlockAddrAt returns the block address stored in (set, way) and whether
+// the frame is valid.
+func (c *Cache) BlockAddrAt(set, way int) (uint64, bool) {
+	f := c.frame(set, way)
+	return f.addr, f.valid
+}
+
+// IsPrefetchedAt reports whether the block in (set, way) was installed by a
+// prefetch and has not yet been demand-referenced.
+func (c *Cache) IsPrefetchedAt(set, way int) bool { return c.frame(set, way).prefetched }
+
+// Access performs a full lookup-and-fill. On a miss the block is installed
+// (unless the policy bypasses it); the caller is responsible for propagating
+// the miss to the next level first if fill data ordering matters (the
+// simulator fills bottom-up, so lower levels are accessed before upper
+// levels install).
+func (c *Cache) Access(a Access) Result {
+	blockAddr := a.Block()
+	set := c.SetIndex(blockAddr)
+
+	c.Stats.Accesses++
+	demand := a.IsDemand()
+	if demand {
+		c.Stats.DemandAccesses++
+	} else if a.Type == trace.Prefetch {
+		c.Stats.PrefetchAccesses++
+	}
+
+	// Probe.
+	for w := 0; w < c.ways; w++ {
+		f := c.frame(set, w)
+		if f.valid && f.addr == blockAddr {
+			c.Stats.Hits++
+			if demand {
+				c.Stats.DemandHits++
+				f.prefetched = false
+			}
+			if a.Type == trace.Store || a.Type == trace.Writeback {
+				f.dirty = true
+			}
+			c.policy.Hit(set, w, a)
+			return Result{Hit: true, Set: set, Way: w, ReadyAt: f.readyAt}
+		}
+	}
+
+	// Miss.
+	c.Stats.Misses++
+	if demand {
+		c.Stats.DemandMisses++
+	} else if a.Type == trace.Prefetch {
+		c.Stats.PrefetchMisses++
+	}
+
+	// Writebacks update-if-present but do not allocate: a dirty victim
+	// from the level above that misses here is sent on toward memory.
+	// This keeps the demand/prefetch reference stream at this level
+	// independent of replacement decisions made here (see DESIGN.md).
+	if a.Type == trace.Writeback {
+		return Result{Hit: false, Bypassed: true, Set: set}
+	}
+
+	return c.fill(set, blockAddr, a)
+}
+
+// fill installs blockAddr into set, choosing a victim as needed.
+func (c *Cache) fill(set int, blockAddr uint64, a Access) Result {
+	// Prefer an invalid frame.
+	way := -1
+	for w := 0; w < c.ways; w++ {
+		if !c.frame(set, w).valid {
+			way = w
+			break
+		}
+	}
+
+	res := Result{Hit: false, Set: set}
+	if way < 0 {
+		victim, bypass := c.policy.Victim(set, a)
+		if bypass {
+			c.Stats.Bypasses++
+			res.Bypassed = true
+			return res
+		}
+		if victim < 0 || victim >= c.ways {
+			panic(fmt.Sprintf("cache %s: policy %s returned victim way %d of %d",
+				c.name, c.policy.Name(), victim, c.ways))
+		}
+		way = victim
+		f := c.frame(set, way)
+		c.Stats.Evictions++
+		if f.dirty {
+			c.Stats.Writebacks++
+			res.EvictedDirty = true
+		}
+		res.EvictedValid = true
+		res.EvictedAddr = f.addr
+		c.policy.Evict(set, way, f.addr)
+	}
+
+	f := c.frame(set, way)
+	f.addr = blockAddr
+	f.valid = true
+	f.readyAt = a.Now
+	f.dirty = a.Type == trace.Store
+	f.prefetched = a.Type == trace.Prefetch
+	if a.Type == trace.Prefetch {
+		c.Stats.PrefetchFills++
+	}
+	res.Way = way
+	c.policy.Fill(set, way, a)
+	return res
+}
+
+// Invalidate removes a block if present, returning whether it was present
+// and dirty. The policy's Evict hook is notified.
+func (c *Cache) Invalidate(blockAddr uint64) (present, dirty bool) {
+	set, way := c.Lookup(blockAddr)
+	if way < 0 {
+		return false, false
+	}
+	f := c.frame(set, way)
+	dirty = f.dirty
+	c.policy.Evict(set, way, f.addr)
+	f.valid = false
+	f.dirty = false
+	f.prefetched = false
+	return true, dirty
+}
+
+// SetReadyAt records the cycle at which the data for the block in
+// (set, way) arrives; accesses before then pay the remaining latency.
+func (c *Cache) SetReadyAt(set, way int, cycle uint64) { c.frame(set, way).readyAt = cycle }
+
+// ReadyAt returns the data-arrival cycle for (set, way).
+func (c *Cache) ReadyAt(set, way int) uint64 { return c.frame(set, way).readyAt }
+
+// Reset invalidates all blocks and zeroes statistics. The replacement
+// policy's state is not reset; construct a fresh policy for a fresh cache.
+func (c *Cache) Reset() {
+	for i := range c.frames {
+		c.frames[i] = blockFrame{}
+	}
+	c.Stats = Stats{}
+}
+
+// ResetStats zeroes the statistics counters, e.g. at the end of warmup.
+func (c *Cache) ResetStats() { c.Stats = Stats{} }

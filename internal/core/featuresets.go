@@ -1,0 +1,133 @@
+package core
+
+// The paper's published feature sets. Tables 1(a) and 1(b) are the two
+// cross-validated single-thread sets (Section 5.2); Table 2 is the
+// multi-programmed set developed on the 100 training mixes (Section 5.3).
+//
+// Two entries are typographically corrupted in the available text of the
+// paper and are normalized here (documented in DESIGN.md/EXPERIMENTS.md):
+//   - "address(9,9,14,5,1)" in Table 2 has five parameters where address
+//     takes four; it is encoded as address(9,9,14,1).
+//   - "pc(9,11,7,16,0)" in Table 2 has B > E; it is encoded with the bit
+//     range swapped, pc(9,7,11,16,0).
+
+// mustParseSet parses a feature set or panics; used only for the compiled-in
+// defaults, which tests cover.
+func mustParseSet(specs ...string) []Feature {
+	out := make([]Feature, len(specs))
+	for i, s := range specs {
+		f, err := ParseFeature(s)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = f
+	}
+	return out
+}
+
+// SingleThreadSetA returns Table 1(a): the single-thread feature set
+// developed on the first cross-validation subset. Figure 10's ablation and
+// the cross-workload observation of Section 6.4 use this set.
+func SingleThreadSetA() []Feature {
+	return mustParseSet(
+		"bias(16,0)",
+		"burst(6,0)",
+		"insert(16,0)",
+		"insert(16,1)",
+		"insert(17,1)",
+		"insert(8,1)",
+		"lastmiss(9,0)",
+		"offset(10,0,6,1)",
+		"offset(15,1,6,1)",
+		"pc(10,1,53,10,0)",
+		"pc(16,3,11,16,1)",
+		"pc(16,8,16,5,0)",
+		"pc(17,6,20,0,1)",
+		"pc(17,6,20,0,1)", // duplicated in the paper's set
+		"pc(17,6,20,14,1)",
+		"pc(7,14,43,11,0)",
+	)
+}
+
+// SingleThreadSetB returns Table 1(b): the single-thread feature set
+// developed on the second cross-validation subset. The paper uses this set
+// for its area accounting and for the SPEC CPU 2017 per-feature analysis
+// (Table 3).
+func SingleThreadSetB() []Feature {
+	return mustParseSet(
+		"address(11,8,19,0)",
+		"bias(6,1)",
+		"insert(15,0)",
+		"insert(16,1)",
+		"insert(6,1)",
+		"offset(15,1,6,1)",
+		"offset(15,3,7,0)",
+		"pc(11,2,24,4,1)",
+		"pc(15,14,32,6,0)",
+		"pc(15,5,28,0,1)",
+		"pc(16,0,16,8,1)",
+		"pc(17,6,20,0,1)",
+		"pc(6,12,14,10,1)",
+		"pc(7,1,24,11,0)",
+		"pc(7,14,43,11,0)",
+		"pc(8,1,61,11,0)",
+	)
+}
+
+// MultiProgrammedSet returns Table 2: the feature set developed for
+// 4-core multi-programmed workloads, notable for its four address features
+// and absence of insert features (Section 5.4).
+func MultiProgrammedSet() []Feature {
+	return mustParseSet(
+		"bias(6,0)",
+		"address(9,9,14,1)", // normalized, see file comment
+		"address(9,12,29,0)",
+		"address(13,21,29,0)",
+		"address(14,17,25,0)",
+		"lastmiss(6,0)",
+		"lastmiss(18,0)",
+		"offset(13,0,4,0)",
+		"offset(14,0,6,0)",
+		"offset(16,0,1,0)",
+		"pc(6,13,31,4,0)",
+		"pc(9,7,11,16,0)", // normalized, see file comment
+		"pc(13,16,24,17,0)",
+		"pc(16,2,10,2,0)",
+		"pc(16,4,46,9,0)",
+		"pc(17,0,13,5,0)",
+	)
+}
+
+// SuiteSearchedSet returns the feature set produced by running this
+// repository's implementation of the paper's Section 5 search methodology
+// (random population + hill climbing on training-set MPKI, see
+// cmd/mpppb-search with seed 90210) against the synthetic workload suite.
+// The paper's published sets were developed on SPEC traces; this one is
+// the equivalent artifact for the traces actually shipped here, and it is
+// what the multi-core configuration uses by default (EXPERIMENTS.md
+// documents the comparison against Table 2).
+func SuiteSearchedSet() []Feature {
+	return mustParseSet(
+		"lastmiss(1,1)",
+		"offset(9,1,4,1)",
+		"offset(17,4,5,1)",
+		"insert(4,0)",
+		"insert(6,1)",
+		"burst(2,1)",
+		"offset(15,5,7,0)",
+		"pc(5,4,44,1,0)",
+		"burst(13,1)",
+		"offset(15,5,7,0)", // duplicated by the climb, as in Table 1(a)
+		"offset(9,2,7,1)",
+		"pc(11,8,15,6,0)",
+		"bias(1,0)",
+		"pc(2,4,10,4,1)",
+		"address(12,22,23,1)",
+		"bias(17,1)",
+	)
+}
+
+// DefaultFeatureCount is the paper's feature budget: "a set of 16 features
+// provided enough diversity ... while not requiring too much hardware"
+// (Section 5).
+const DefaultFeatureCount = 16

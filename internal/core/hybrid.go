@@ -1,0 +1,121 @@
+package core
+
+import (
+	"mpppb/internal/cache"
+	"mpppb/internal/predictor"
+	"mpppb/internal/trace"
+)
+
+// Hybrid implements the combination the paper's Section 6.2.1 proposes as
+// future work: "For 8 benchmarks for which MPPPB does not provide the best
+// speedup ... Hawkeye gives the best speedup. This result suggests that
+// MPPPB might be combined with Hawkeye to provide superior performance."
+//
+// The combination uses set-dueling (Qureshi et al.): a few leader sets are
+// always managed by MPPPB, a few always by Hawkeye, and a saturating
+// policy-select counter — charged by misses in leader sets — picks the
+// manager for follower sets. Both constituent policies observe every
+// Hit/Fill/Evict so their predictors stay trained regardless of who is
+// currently deciding victims.
+type Hybrid struct {
+	mpppb   *MPPPB
+	hawkeye *predictor.Hawkeye
+	sets    int
+	psel    int
+	pselMax int
+	stride  int
+
+	// MPPPBDecisions and HawkeyeDecisions count victim choices delegated
+	// to each constituent in follower sets.
+	MPPPBDecisions   uint64
+	HawkeyeDecisions uint64
+}
+
+// hybridLeaders is the number of leader sets per constituent policy.
+const hybridLeaders = 32
+
+// NewHybrid builds the set-dueling combination for an LLC geometry.
+func NewHybrid(sets, ways int, params Params) *Hybrid {
+	stride := sets / hybridLeaders
+	if stride < 2 {
+		stride = 2
+	}
+	return &Hybrid{
+		mpppb:   NewMPPPB(sets, ways, params),
+		hawkeye: predictor.NewHawkeye(sets, ways),
+		sets:    sets,
+		pselMax: 512,
+		stride:  stride,
+	}
+}
+
+// leaderKind classifies a set: 0 = MPPPB leader, 1 = Hawkeye leader,
+// 2 = follower.
+func (h *Hybrid) leaderKind(set int) int {
+	switch set % h.stride {
+	case 0:
+		return 0
+	case h.stride / 2:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// useMPPPB decides which constituent manages a set right now.
+func (h *Hybrid) useMPPPB(set int) bool {
+	switch h.leaderKind(set) {
+	case 0:
+		return true
+	case 1:
+		return false
+	default:
+		return h.psel >= 0
+	}
+}
+
+// Name implements cache.ReplacementPolicy.
+func (h *Hybrid) Name() string { return "mpppb+hawkeye" }
+
+// Hit implements cache.ReplacementPolicy: both constituents observe.
+func (h *Hybrid) Hit(set, way int, a cache.Access) {
+	h.mpppb.Hit(set, way, a)
+	h.hawkeye.Hit(set, way, a)
+}
+
+// Victim implements cache.ReplacementPolicy: leader sets vote via misses,
+// and the winning constituent chooses (and may bypass, if it is MPPPB).
+func (h *Hybrid) Victim(set int, a cache.Access) (int, bool) {
+	if a.IsDemand() || a.Type == trace.Prefetch {
+		switch h.leaderKind(set) {
+		case 0: // miss in an MPPPB leader: evidence against MPPPB
+			if h.psel > -h.pselMax {
+				h.psel--
+			}
+		case 1:
+			if h.psel < h.pselMax {
+				h.psel++
+			}
+		}
+	}
+	if h.useMPPPB(set) {
+		h.MPPPBDecisions++
+		return h.mpppb.Victim(set, a)
+	}
+	h.HawkeyeDecisions++
+	return h.hawkeye.Victim(set, a)
+}
+
+// Fill implements cache.ReplacementPolicy: both constituents observe.
+func (h *Hybrid) Fill(set, way int, a cache.Access) {
+	h.mpppb.Fill(set, way, a)
+	h.hawkeye.Fill(set, way, a)
+}
+
+// Evict implements cache.ReplacementPolicy.
+func (h *Hybrid) Evict(set, way int, blockAddr uint64) {
+	h.mpppb.Evict(set, way, blockAddr)
+	h.hawkeye.Evict(set, way, blockAddr)
+}
+
+var _ cache.ReplacementPolicy = (*Hybrid)(nil)

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"mpppb/internal/cache"
+	"mpppb/internal/trace"
+)
+
+func TestHybridLeaderAssignment(t *testing.T) {
+	h := NewHybrid(2048, 16, SingleThreadParams())
+	counts := map[int]int{}
+	for s := 0; s < 2048; s++ {
+		counts[h.leaderKind(s)]++
+	}
+	if counts[0] != hybridLeaders || counts[1] != hybridLeaders {
+		t.Fatalf("leader counts %v", counts)
+	}
+}
+
+func TestHybridPSELVoting(t *testing.T) {
+	h := NewHybrid(64, 16, SingleThreadParams())
+	// Find an MPPPB leader and a Hawkeye leader set.
+	var mLeader, hLeader = -1, -1
+	for s := 0; s < 64; s++ {
+		switch h.leaderKind(s) {
+		case 0:
+			if mLeader < 0 {
+				mLeader = s
+			}
+		case 1:
+			if hLeader < 0 {
+				hLeader = s
+			}
+		}
+	}
+	if mLeader < 0 || hLeader < 0 {
+		t.Fatal("no leaders found")
+	}
+	a := cache.Access{PC: 0x400, Addr: 0, Type: trace.Load}
+	before := h.psel
+	h.Victim(mLeader, a)
+	if h.psel >= before {
+		t.Fatal("MPPPB-leader miss did not vote against MPPPB")
+	}
+	before = h.psel
+	h.Victim(hLeader, a)
+	if h.psel <= before {
+		t.Fatal("Hawkeye-leader miss did not vote against Hawkeye")
+	}
+}
+
+func TestHybridFollowsWinner(t *testing.T) {
+	h := NewHybrid(64, 16, SingleThreadParams())
+	follower := -1
+	for s := 0; s < 64; s++ {
+		if h.leaderKind(s) == 2 {
+			follower = s
+			break
+		}
+	}
+	h.psel = 100
+	if !h.useMPPPB(follower) {
+		t.Fatal("positive PSEL did not select MPPPB")
+	}
+	h.psel = -100
+	if h.useMPPPB(follower) {
+		t.Fatal("negative PSEL did not select Hawkeye")
+	}
+}
+
+func TestHybridRunsEndToEnd(t *testing.T) {
+	h := NewHybrid(64, 16, SingleThreadParams())
+	c := cache.New("llc", 64, 16, h)
+	// Mixed stream: hot loop + dead stream.
+	for i := 0; i < 30000; i++ {
+		c.Access(cache.Access{PC: 0x400, Addr: uint64(i%256) << trace.BlockBits, Type: trace.Load})
+		c.Access(cache.Access{PC: 0x900, Addr: uint64(100000+i) << trace.BlockBits, Type: trace.Load})
+	}
+	if h.MPPPBDecisions+h.HawkeyeDecisions == 0 {
+		t.Fatal("hybrid made no victim decisions")
+	}
+	hitRate := float64(c.Stats.DemandHits) / float64(c.Stats.DemandAccesses)
+	if hitRate < 0.4 {
+		t.Fatalf("hybrid hit rate %.3f on half-hot stream", hitRate)
+	}
+}
+
+func TestHybridWritebackSafe(t *testing.T) {
+	h := NewHybrid(64, 16, SingleThreadParams())
+	c := cache.New("llc", 64, 16, h)
+	c.Access(cache.Access{PC: 0x400, Addr: 0, Type: trace.Load})
+	c.Access(cache.Access{Addr: 0, Type: trace.Writeback})
+	if !c.Contains(0) {
+		t.Fatal("hybrid dropped block on writeback")
+	}
+}

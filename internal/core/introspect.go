@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FeatureWeightStats summarizes one feature's trained weight table, for the
+// kind of per-feature analysis Section 5.4 discusses: features whose
+// weights have large magnitudes contribute strongly to predictions, while
+// features stuck near zero are dead weight.
+type FeatureWeightStats struct {
+	Feature Feature
+	// TableSize is the number of weights in the feature's table.
+	TableSize int
+	// MeanAbs is the mean absolute weight value.
+	MeanAbs float64
+	// MaxAbs is the largest absolute weight.
+	MaxAbs int
+	// NonZero is the fraction of weights that have moved off zero.
+	NonZero float64
+	// Bias is the mean signed weight: positive leans "dead", negative
+	// leans "live".
+	Bias float64
+}
+
+// WeightStats returns per-feature weight summaries, in feature order.
+func (p *Predictor) WeightStats() []FeatureWeightStats {
+	out := make([]FeatureWeightStats, len(p.features))
+	for i, f := range p.features {
+		t := p.tables[i]
+		s := FeatureWeightStats{Feature: f, TableSize: len(t)}
+		var sumAbs, sum float64
+		nz := 0
+		for _, w := range t {
+			v := int(w)
+			a := v
+			if a < 0 {
+				a = -a
+			}
+			sumAbs += float64(a)
+			sum += float64(v)
+			if v != 0 {
+				nz++
+			}
+			if a > s.MaxAbs {
+				s.MaxAbs = a
+			}
+		}
+		s.MeanAbs = sumAbs / float64(len(t))
+		s.Bias = sum / float64(len(t))
+		s.NonZero = float64(nz) / float64(len(t))
+		out[i] = s
+	}
+	return out
+}
+
+// FormatWeightStats renders weight statistics as a table sorted by
+// decreasing mean |weight| (most influential feature first).
+func FormatWeightStats(stats []FeatureWeightStats) string {
+	sorted := append([]FeatureWeightStats(nil), stats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].MeanAbs > sorted[j].MeanAbs })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %8s %8s %7s %8s %7s\n",
+		"feature", "weights", "mean|w|", "max|w|", "nonzero", "bias")
+	for _, s := range sorted {
+		fmt.Fprintf(&b, "%-22s %8d %8.2f %7d %7.0f%% %+7.2f\n",
+			s.Feature, s.TableSize, s.MeanAbs, s.MaxAbs, 100*s.NonZero, s.Bias)
+	}
+	return b.String()
+}
+
+// Stats summarizes the policy's decision counters.
+type PolicyStats struct {
+	Bypasses    uint64
+	NoPromotes  uint64
+	TrainEvents uint64
+	// Placements counts fills by placement slot: [0] = MRU, [1..3] = the
+	// π1..π3 positions.
+	Placements [4]uint64
+}
+
+// Stats returns the policy's decision counters.
+func (m *MPPPB) Stats() PolicyStats {
+	return PolicyStats{
+		Bypasses:    m.Bypasses,
+		NoPromotes:  m.NoPromotes,
+		TrainEvents: m.TrainEvents,
+		Placements:  m.Placements,
+	}
+}
+
+// String renders the counters compactly.
+func (s PolicyStats) String() string {
+	return fmt.Sprintf("bypasses=%d no-promotes=%d trains=%d placements[mru,π1,π2,π3]=%v",
+		s.Bypasses, s.NoPromotes, s.TrainEvents, s.Placements)
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mpppb/internal/cache"
+	"mpppb/internal/trace"
+)
+
+func TestWeightStatsFreshPredictor(t *testing.T) {
+	p := NewPredictor(SingleThreadSetB(), 64, 1)
+	stats := p.WeightStats()
+	if len(stats) != 16 {
+		t.Fatalf("%d stats", len(stats))
+	}
+	for _, s := range stats {
+		if s.MeanAbs != 0 || s.NonZero != 0 || s.MaxAbs != 0 || s.Bias != 0 {
+			t.Fatalf("fresh predictor has trained weights: %+v", s)
+		}
+		if s.TableSize != s.Feature.TableSize() {
+			t.Fatalf("table size mismatch for %s", s.Feature)
+		}
+	}
+}
+
+func TestWeightStatsAfterTraining(t *testing.T) {
+	m := NewMPPPB(64, 16, SingleThreadParams())
+	c := cache.New("llc", 64, 16, m)
+	// A dead stream: weights should move toward positive (dead).
+	for i := 0; i < 30000; i++ {
+		c.Access(cache.Access{PC: 0x400, Addr: uint64(i) << trace.BlockBits, Type: trace.Load})
+	}
+	stats := m.Predictor().WeightStats()
+	trained := 0
+	var biasSum float64
+	for _, s := range stats {
+		if s.NonZero > 0 {
+			trained++
+		}
+		biasSum += s.Bias
+	}
+	if trained < len(stats)/2 {
+		t.Fatalf("only %d/%d features trained", trained, len(stats))
+	}
+	if biasSum <= 0 {
+		t.Fatalf("aggregate bias %.2f not dead-leaning on a dead stream", biasSum)
+	}
+}
+
+func TestFormatWeightStats(t *testing.T) {
+	p := NewPredictor(SingleThreadSetB(), 64, 1)
+	out := FormatWeightStats(p.WeightStats())
+	if !strings.Contains(out, "mean|w|") || !strings.Contains(out, "pc(") {
+		t.Fatalf("format output malformed:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 17 {
+		t.Fatalf("want header + 16 rows, got:\n%s", out)
+	}
+}
+
+func TestPolicyStats(t *testing.T) {
+	m := NewMPPPB(64, 16, SingleThreadParams())
+	c := cache.New("llc", 64, 16, m)
+	for i := 0; i < 30000; i++ {
+		c.Access(cache.Access{PC: 0x400, Addr: uint64(i) << trace.BlockBits, Type: trace.Load})
+	}
+	s := m.Stats()
+	if s.TrainEvents == 0 {
+		t.Fatal("no training events counted")
+	}
+	var placed uint64
+	for _, n := range s.Placements {
+		placed += n
+	}
+	if placed+s.Bypasses == 0 {
+		t.Fatal("no fills accounted")
+	}
+	if !strings.Contains(s.String(), "bypasses=") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}

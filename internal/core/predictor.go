@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+
+	"mpppb/internal/cache"
+)
+
+// Weight range: "6 bit weights ranging from -32 to +31 provide a good
+// trade-off between accuracy and area" (Section 3.4).
+const (
+	WeightMin = -32
+	WeightMax = 31
+)
+
+// ConfMin/ConfMax clamp the summed confidence to the sampler's 9-bit signed
+// confidence field (Section 3.3).
+const (
+	ConfMin = -256
+	ConfMax = 255
+)
+
+// Predictor is the multiperspective reuse predictor: one weight table per
+// feature, per-core PC history, and per-set metadata feeding the burst and
+// lastmiss features.
+type Predictor struct {
+	features []Feature
+	tables   [][]int8
+	masks    []uint32 // index mask per table
+
+	// hist[core][w] is the w-th most recent memory-access PC (not
+	// including the access currently being predicted).
+	hist [][MaxW]uint64
+
+	// Per-LLC-set metadata.
+	lastMiss  []bool   // "requires keeping a single extra bit for every set"
+	lastBlock []uint64 // most recently used block, for the burst feature
+	haveBlock []bool
+
+	// scratch buffers reused across calls.
+	in  Input
+	idx []uint16
+}
+
+// NewPredictor builds predictor state for an LLC with the given number of
+// sets, shared by the given number of cores.
+func NewPredictor(features []Feature, llcSets, cores int) *Predictor {
+	if len(features) == 0 {
+		panic("core: empty feature set")
+	}
+	if cores <= 0 {
+		panic("core: non-positive core count")
+	}
+	p := &Predictor{
+		features:  features,
+		tables:    make([][]int8, len(features)),
+		masks:     make([]uint32, len(features)),
+		hist:      make([][MaxW]uint64, cores),
+		lastMiss:  make([]bool, llcSets),
+		lastBlock: make([]uint64, llcSets),
+		haveBlock: make([]bool, llcSets),
+		idx:       make([]uint16, len(features)),
+	}
+	for i, f := range features {
+		if err := f.Validate(); err != nil {
+			panic(err)
+		}
+		p.tables[i] = make([]int8, f.TableSize())
+		p.masks[i] = uint32(f.TableSize() - 1)
+	}
+	return p
+}
+
+// Features returns the feature set (callers must not modify it).
+func (p *Predictor) Features() []Feature { return p.features }
+
+// TotalIndexBits returns the number of bits needed to store one feature-
+// index vector in a sampler entry, for area accounting (Section 4.4).
+func (p *Predictor) TotalIndexBits() int {
+	n := 0
+	for _, f := range p.features {
+		n += f.IndexBits()
+	}
+	return n
+}
+
+// buildInput assembles the feature input for an access. insert marks
+// misses; set is the LLC set index.
+func (p *Predictor) buildInput(a cache.Access, set int, insert bool) *Input {
+	in := &p.in
+	in.PC = accessPC(a)
+	in.Addr = a.Addr
+	in.Insert = insert
+	in.LastMiss = p.lastMiss[set]
+	in.Burst = !insert && p.haveBlock[set] && p.lastBlock[set] == a.Block()
+	if in.History == nil {
+		in.History = new([MaxW + 1]uint64)
+	}
+	core := a.Core
+	if core < 0 || core >= len(p.hist) {
+		core = 0
+	}
+	in.History[0] = in.PC
+	h := &p.hist[core]
+	copy(in.History[1:], h[:])
+	return in
+}
+
+// computeIndices fills p.idx with each feature's table index for the input
+// and returns the summed, clamped confidence.
+func (p *Predictor) computeIndices(in *Input) int {
+	sum := 0
+	for i := range p.features {
+		ix := p.features[i].Index(in) & p.masks[i]
+		p.idx[i] = uint16(ix)
+		sum += int(p.tables[i][ix])
+	}
+	return clampConf(sum)
+}
+
+// Confidence computes the prediction for an access without updating any
+// state. Higher values mean the block is more confidently predicted dead.
+func (p *Predictor) Confidence(a cache.Access, set int, insert bool) int {
+	return p.computeIndices(p.buildInput(a, set, insert))
+}
+
+// observe updates per-set and per-core state after an access has been
+// predicted and (if sampled) trained. resident reports whether the block
+// is in the cache after the access (false for bypasses).
+func (p *Predictor) observe(a cache.Access, set int, miss, resident bool) {
+	p.lastMiss[set] = miss
+	if resident {
+		p.lastBlock[set] = a.Block()
+		p.haveBlock[set] = true
+	}
+	core := a.Core
+	if core < 0 || core >= len(p.hist) {
+		core = 0
+	}
+	h := &p.hist[core]
+	copy(h[1:], h[:MaxW-1])
+	h[0] = accessPC(a)
+}
+
+// bump adjusts one weight with saturating 6-bit arithmetic.
+func (p *Predictor) bump(feature int, index uint16, up bool) {
+	w := &p.tables[feature][index]
+	if up {
+		if *w < WeightMax {
+			*w++
+		}
+	} else if *w > WeightMin {
+		*w--
+	}
+}
+
+func clampConf(v int) int {
+	if v < ConfMin {
+		return ConfMin
+	}
+	if v > ConfMax {
+		return ConfMax
+	}
+	return v
+}
+
+// String summarizes the predictor configuration.
+func (p *Predictor) String() string {
+	return fmt.Sprintf("multiperspective(%d features, %d index bits)", len(p.features), p.TotalIndexBits())
+}
+
+// SizeBits estimates the predictor's storage in bits, mirroring the area
+// accounting of Section 4.4: the weight tables plus per-set lastmiss bits.
+// Sampler storage is accounted by the sampler.
+func (p *Predictor) SizeBits() int {
+	bits := 0
+	for _, t := range p.tables {
+		bits += len(t) * 6
+	}
+	bits += len(p.lastMiss) // one lastmiss bit per set
+	return bits
+}

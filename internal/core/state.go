@@ -1,0 +1,110 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Predictor state serialization: save trained weight tables and reload
+// them to warm-start a predictor (e.g. to skip warmup in repeated
+// experiments, or to ship a pre-trained configuration). Only the weight
+// tables are persisted; sampler contents and per-set metadata are
+// transient state that retrains in a few thousand accesses.
+
+const stateMagic = "MPPPBW1\n"
+
+// ErrStateMismatch reports that a state blob was produced by a predictor
+// with a different feature configuration.
+var ErrStateMismatch = errors.New("core: predictor state does not match feature configuration")
+
+// SaveWeights writes the predictor's weight tables.
+func (p *Predictor) SaveWeights(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(stateMagic); err != nil {
+		return fmt.Errorf("core: writing state header: %w", err)
+	}
+	// Feature fingerprint: count then each feature's string form, so a
+	// mismatched load fails loudly rather than corrupting predictions.
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(p.features))); err != nil {
+		return err
+	}
+	for _, f := range p.features {
+		s := f.String()
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(s))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(s); err != nil {
+			return err
+		}
+	}
+	for _, t := range p.tables {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(t))); err != nil {
+			return err
+		}
+		buf := make([]byte, len(t))
+		for i, v := range t {
+			buf[i] = byte(v)
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadWeights restores weight tables saved by SaveWeights. The feature
+// configuration must match exactly.
+func (p *Predictor) LoadWeights(r io.Reader) error {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(stateMagic))
+	if _, err := io.ReadFull(br, head); err != nil || string(head) != stateMagic {
+		return fmt.Errorf("core: bad predictor state header")
+	}
+	var n uint32
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return err
+	}
+	if int(n) != len(p.features) {
+		return fmt.Errorf("%w: %d features in state, %d configured", ErrStateMismatch, n, len(p.features))
+	}
+	for _, f := range p.features {
+		var sl uint32
+		if err := binary.Read(br, binary.LittleEndian, &sl); err != nil {
+			return err
+		}
+		if sl > 256 {
+			return fmt.Errorf("core: implausible feature name length %d", sl)
+		}
+		buf := make([]byte, sl)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return err
+		}
+		if string(buf) != f.String() {
+			return fmt.Errorf("%w: state has %q, configured %q", ErrStateMismatch, buf, f)
+		}
+	}
+	for i := range p.tables {
+		var tl uint32
+		if err := binary.Read(br, binary.LittleEndian, &tl); err != nil {
+			return err
+		}
+		if int(tl) != len(p.tables[i]) {
+			return fmt.Errorf("%w: table %d has %d weights, want %d", ErrStateMismatch, i, tl, len(p.tables[i]))
+		}
+		buf := make([]byte, tl)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return err
+		}
+		for j, b := range buf {
+			v := int8(b)
+			if v < WeightMin || v > WeightMax {
+				return fmt.Errorf("core: weight %d out of 6-bit range in table %d", v, i)
+			}
+			p.tables[i][j] = v
+		}
+	}
+	return nil
+}

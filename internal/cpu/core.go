@@ -1,0 +1,127 @@
+// Package cpu implements the simplified out-of-order core timing model used
+// to turn cache behaviour into instructions-per-cycle, following the
+// paper's performance model (Section 4.1): a 4-wide, 8-stage pipeline with
+// a 128-entry instruction window.
+//
+// The model tracks three constraints that dominate IPC in memory-bound
+// code: fetch bandwidth (Width instructions per cycle), in-order retirement
+// (Width per cycle), and window occupancy (an instruction cannot enter the
+// window until the instruction Window places ahead of it has retired). A
+// memory instruction completes its access latency after entering the
+// window, so independent misses overlap up to the window size — the
+// memory-level parallelism that makes LLC policy matter for IPC. The model
+// is not cycle-accurate (no branch or dependency modelling), which is
+// sufficient for the relative speedups the experiments report.
+package cpu
+
+// Config describes the core.
+type Config struct {
+	// Width is fetch and retire bandwidth in instructions per cycle.
+	Width int
+	// Window is the instruction window (ROB) size.
+	Window int
+}
+
+// DefaultConfig is the paper's 4-wide, 128-entry-window core.
+func DefaultConfig() Config { return Config{Width: 4, Window: 128} }
+
+// Core is the timing model. All internal times are in "slots": 1/Width of
+// a cycle, so one instruction can be fetched and one retired per slot.
+type Core struct {
+	cfg Config
+
+	retireSlot []int64 // ring buffer: retire slot of the last Window instructions
+	count      int64   // instructions processed (absolute)
+	lastRetire int64   // retire slot of the most recent instruction (absolute)
+	memOps     int64
+
+	// Measurement window marks, set by ResetStats. The pipeline clock is
+	// absolute and never rebases — cache timestamps (prefetch readiness)
+	// depend on it — while the reported statistics cover only the window.
+	baseInstr  int64
+	baseMemOps int64
+	baseCycles uint64
+}
+
+// New constructs a core with the given configuration.
+func New(cfg Config) *Core {
+	if cfg.Width <= 0 || cfg.Window <= 0 {
+		panic("cpu: non-positive core configuration")
+	}
+	c := &Core{cfg: cfg, retireSlot: make([]int64, cfg.Window), lastRetire: -1}
+	return c
+}
+
+// step advances the model by one instruction with the given completion
+// latency in cycles (1 for non-memory instructions).
+func (c *Core) step(latencyCycles int) {
+	w := int64(c.cfg.Window)
+	fetch := c.count // slot at which the instruction can be fetched
+	alloc := fetch
+	if c.count >= w {
+		// Window full until the instruction Window slots ahead retires.
+		if prev := c.retireSlot[c.count%w]; prev > alloc {
+			alloc = prev
+		}
+	}
+	// An instruction allocated in slot s with latency L retires no earlier
+	// than the last slot of cycle (s/Width + L), hence the -1.
+	complete := alloc + int64(latencyCycles)*int64(c.cfg.Width) - 1
+	retire := complete
+	if r := c.lastRetire + 1; r > retire {
+		retire = r
+	}
+	c.retireSlot[c.count%w] = retire
+	c.lastRetire = retire
+	c.count++
+}
+
+// NonMem advances the model by n single-cycle non-memory instructions.
+func (c *Core) NonMem(n int) {
+	for i := 0; i < n; i++ {
+		c.step(1)
+	}
+}
+
+// Mem advances the model by one memory instruction whose access took the
+// given latency in cycles.
+func (c *Core) Mem(latencyCycles int) {
+	c.memOps++
+	c.step(latencyCycles)
+}
+
+// Instructions returns the number of instructions retired in the current
+// measurement window.
+func (c *Core) Instructions() uint64 { return uint64(c.count - c.baseInstr) }
+
+// MemOps returns the number of memory instructions retired in the window.
+func (c *Core) MemOps() uint64 { return uint64(c.memOps - c.baseMemOps) }
+
+// Now returns the absolute elapsed cycles since the core was constructed.
+// Use Now for timestamps handed to the memory hierarchy; it never rebases.
+func (c *Core) Now() uint64 {
+	if c.lastRetire < 0 {
+		return 0
+	}
+	return uint64(c.lastRetire)/uint64(c.cfg.Width) + 1
+}
+
+// Cycles returns the cycles elapsed in the current measurement window.
+func (c *Core) Cycles() uint64 { return c.Now() - c.baseCycles }
+
+// IPC returns retired instructions per cycle over the measurement window.
+func (c *Core) IPC() float64 {
+	cy := c.Cycles()
+	if cy == 0 {
+		return 0
+	}
+	return float64(c.Instructions()) / float64(cy)
+}
+
+// ResetStats restarts measurement while preserving pipeline state and the
+// absolute clock, as at the end of a warmup phase.
+func (c *Core) ResetStats() {
+	c.baseInstr = c.count
+	c.baseMemOps = c.memOps
+	c.baseCycles = c.Now()
+}

@@ -1,0 +1,156 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIdealIPCEqualsWidth(t *testing.T) {
+	c := New(Config{Width: 4, Window: 128})
+	c.NonMem(4000)
+	if ipc := c.IPC(); ipc < 3.9 || ipc > 4.0 {
+		t.Fatalf("all-non-memory IPC = %.3f, want ~4", ipc)
+	}
+}
+
+func TestSingleInstructionTakesOneCycle(t *testing.T) {
+	c := New(DefaultConfig())
+	c.NonMem(1)
+	if c.Cycles() != 1 {
+		t.Fatalf("cycles = %d, want 1", c.Cycles())
+	}
+	if c.Instructions() != 1 {
+		t.Fatalf("instructions = %d", c.Instructions())
+	}
+}
+
+func TestSerializedMissesDominateLatency(t *testing.T) {
+	// With a window of 1, every memory access serializes: total cycles ~
+	// n*latency.
+	c := New(Config{Width: 1, Window: 1})
+	const n, lat = 100, 200
+	for i := 0; i < n; i++ {
+		c.Mem(lat)
+	}
+	if cy := c.Cycles(); cy < n*(lat-1) {
+		t.Fatalf("cycles = %d, want >= %d", cy, n*(lat-1))
+	}
+}
+
+func TestWindowOverlapsMisses(t *testing.T) {
+	// Independent misses within the window overlap: cycles should be far
+	// below the serialized total.
+	c := New(Config{Width: 4, Window: 128})
+	const n, lat = 1000, 200
+	for i := 0; i < n; i++ {
+		c.Mem(lat)
+	}
+	serial := uint64(n * lat)
+	if cy := c.Cycles(); cy > serial/10 {
+		t.Fatalf("cycles = %d, want well under serialized %d (MLP)", cy, serial)
+	}
+}
+
+func TestSmallerWindowIsSlower(t *testing.T) {
+	run := func(window int) uint64 {
+		c := New(Config{Width: 4, Window: window})
+		for i := 0; i < 500; i++ {
+			c.NonMem(3)
+			c.Mem(240)
+		}
+		return c.Cycles()
+	}
+	if small, big := run(16), run(128); small <= big {
+		t.Fatalf("window 16 (%d cycles) not slower than window 128 (%d)", small, big)
+	}
+}
+
+func TestRetireBandwidthBoundsIPC(t *testing.T) {
+	if err := quick.Check(func(ops []uint8) bool {
+		c := New(DefaultConfig())
+		for _, op := range ops {
+			if op%2 == 0 {
+				c.NonMem(int(op%7) + 1)
+			} else {
+				c.Mem(int(op)%240 + 1)
+			}
+		}
+		if c.Instructions() == 0 {
+			return true
+		}
+		return c.IPC() <= 4.0+1e-9 && c.IPC() > 0
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCyclesMonotone(t *testing.T) {
+	c := New(DefaultConfig())
+	prev := uint64(0)
+	for i := 0; i < 1000; i++ {
+		if i%5 == 0 {
+			c.Mem(40)
+		} else {
+			c.NonMem(1)
+		}
+		if cy := c.Cycles(); cy < prev {
+			t.Fatalf("cycles decreased: %d -> %d", prev, cy)
+		} else {
+			prev = cy
+		}
+	}
+}
+
+func TestMemOpsCounter(t *testing.T) {
+	c := New(DefaultConfig())
+	c.NonMem(10)
+	c.Mem(4)
+	c.Mem(240)
+	if c.MemOps() != 2 {
+		t.Fatalf("MemOps = %d", c.MemOps())
+	}
+	if c.Instructions() != 12 {
+		t.Fatalf("Instructions = %d", c.Instructions())
+	}
+}
+
+func TestResetStatsPreservesThroughputModel(t *testing.T) {
+	c := New(DefaultConfig())
+	for i := 0; i < 1000; i++ {
+		c.Mem(240)
+	}
+	c.ResetStats()
+	if c.Instructions() != 0 || c.Cycles() != 0 {
+		t.Fatalf("reset left %d instr, %d cycles", c.Instructions(), c.Cycles())
+	}
+	// Post-reset behaviour should match a fresh core for a fresh phase
+	// within a small tolerance (the in-flight window carries over).
+	c2 := New(DefaultConfig())
+	for i := 0; i < 1000; i++ {
+		c.NonMem(1)
+		c2.NonMem(1)
+	}
+	if diff := int64(c.Cycles()) - int64(c2.Cycles()); diff < -40 || diff > 40 {
+		t.Fatalf("post-reset cycles diverge: %d vs %d", c.Cycles(), c2.Cycles())
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	for _, cfg := range []Config{{Width: 0, Window: 1}, {Width: 1, Window: 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestZeroCore(t *testing.T) {
+	c := New(DefaultConfig())
+	if c.Cycles() != 0 || c.IPC() != 0 {
+		t.Fatalf("fresh core: cycles=%d ipc=%g", c.Cycles(), c.IPC())
+	}
+}

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"mpppb/internal/cache"
+	"mpppb/internal/core"
+	"mpppb/internal/sim"
+	"mpppb/internal/stats"
+	"mpppb/internal/workload"
+)
+
+// mpppbFactory builds an MPPPB policy factory from explicit parameters.
+func mpppbFactory(params core.Params) sim.PolicyFactory {
+	return func(sets, ways int) cache.ReplacementPolicy {
+		return core.NewMPPPB(sets, ways, params)
+	}
+}
+
+// multiCoreGeomeanWS computes the geometric-mean LRU-normalized weighted
+// speedup of a policy over the given mixes — the y-axis of Figures 9 and
+// 10. LRU runs and standalone IPCs are recomputed per call; callers
+// sweeping configurations over the same mixes should pass a shared cache.
+func multiCoreGeomeanWS(cfg sim.Config, pf sim.PolicyFactory, mixes []workload.Mix, singles *sim.SingleIPCCache, lruWS map[int]float64, progress Progress) float64 {
+	lruPF := mustPolicy("lru")
+	var speedups []float64
+	for i, mix := range mixes {
+		single := singles.For(mix)
+		base, ok := lruWS[i]
+		if !ok {
+			lruRes := sim.RunMulti(cfg, mix, lruPF)
+			base = lruRes.WeightedSpeedup(single)
+			lruWS[i] = base
+		}
+		res := sim.RunMulti(cfg, mix, pf)
+		speedups = append(speedups, res.WeightedSpeedup(single)/base)
+		progress.log("  mix %d/%d done", i+1, len(mixes))
+	}
+	return stats.GeoMean(speedups)
+}
+
+// MultiCoreWith runs MPPPB with explicit parameters over the given mixes
+// and returns the geometric-mean LRU-normalized weighted speedup. It is
+// the building block the ablation benchmarks drive directly.
+func MultiCoreWith(cfg sim.Config, params core.Params, mixes []workload.Mix, singles *sim.SingleIPCCache) float64 {
+	if singles == nil {
+		singles = sim.NewSingleIPCCache(cfg)
+	}
+	return multiCoreGeomeanWS(cfg, mpppbFactory(params), mixes, singles, map[int]float64{}, nil)
+}
+
+// Fig9Result is the uniform-associativity experiment (Figure 9): fixing
+// every feature's A parameter to the same value 1..18 versus the original
+// per-feature associativities.
+type Fig9Result struct {
+	// UniformWS[a-1] is the geomean weighted speedup with every A forced
+	// to a.
+	UniformWS [core.MaxA]float64
+	// OriginalWS is the geomean weighted speedup of the unmodified set.
+	OriginalWS float64
+}
+
+// Fig9UniformAssociativity sweeps the uniform A parameter over the
+// multi-programmed feature set (Section 6.4, Figure 9).
+func Fig9UniformAssociativity(cfg sim.Config, mixes []workload.Mix, progress Progress) *Fig9Result {
+	singles := sim.NewSingleIPCCache(cfg)
+	lruWS := map[int]float64{}
+	res := &Fig9Result{}
+
+	base := core.MultiCoreParams()
+	progress.log("fig9 original (variable A)")
+	res.OriginalWS = multiCoreGeomeanWS(cfg, mpppbFactory(base), mixes, singles, lruWS, nil)
+
+	for a := 1; a <= core.MaxA; a++ {
+		progress.log("fig9 uniform A=%d", a)
+		params := core.MultiCoreParams()
+		feats := make([]core.Feature, len(params.Features))
+		copy(feats, params.Features)
+		for i := range feats {
+			feats[i].A = a
+		}
+		params.Features = feats
+		res.UniformWS[a-1] = multiCoreGeomeanWS(cfg, mpppbFactory(params), mixes, singles, lruWS, nil)
+	}
+	return res
+}
+
+// Fig10Result is the leave-one-feature-out ablation (Figure 10) over
+// Table 1(a)'s single-thread feature set, evaluated (as in the paper) on
+// multi-programmed workloads.
+type Fig10Result struct {
+	Features []core.Feature
+	// OriginalWS is the geomean weighted speedup with the full set.
+	OriginalWS float64
+	// OmittedWS[i] is the geomean weighted speedup with Features[i]
+	// removed.
+	OmittedWS []float64
+}
+
+// Fig10FeatureAblation removes each feature in turn and measures the
+// multi-programmed weighted speedup.
+func Fig10FeatureAblation(cfg sim.Config, features []core.Feature, mixes []workload.Mix, progress Progress) *Fig10Result {
+	if features == nil {
+		features = core.SingleThreadSetA()
+	}
+	singles := sim.NewSingleIPCCache(cfg)
+	lruWS := map[int]float64{}
+
+	res := &Fig10Result{Features: features, OmittedWS: make([]float64, len(features))}
+	params := core.MultiCoreParams()
+	params.Features = features
+	progress.log("fig10 original")
+	res.OriginalWS = multiCoreGeomeanWS(cfg, mpppbFactory(params), mixes, singles, lruWS, nil)
+
+	for i := range features {
+		progress.log("fig10 omit %s", features[i])
+		sub := make([]core.Feature, 0, len(features)-1)
+		sub = append(sub, features[:i]...)
+		sub = append(sub, features[i+1:]...)
+		p := params
+		p.Features = sub
+		res.OmittedWS[i] = multiCoreGeomeanWS(cfg, mpppbFactory(p), mixes, singles, lruWS, nil)
+	}
+	return res
+}
+
+// Table3Row reports, for one feature, the segment where removing it
+// increases MPKI the most (Table 3's per-feature analysis).
+type Table3Row struct {
+	Feature     core.Feature
+	Segment     workload.SegmentID
+	MPKIWith    float64
+	MPKIWithout float64
+	// PctIncrease is the MPKI increase from removing the feature, in
+	// percent.
+	PctIncrease float64
+}
+
+// Table3FeatureBenefit runs the leave-one-out experiment per segment over
+// the given feature set (the paper uses Table 1(b) on SPEC CPU 2017
+// simpoints; here the synthetic suite stands in) and reports, for each
+// feature, the segment it helps most.
+func Table3FeatureBenefit(cfg sim.Config, features []core.Feature, segments []workload.SegmentID, progress Progress) []Table3Row {
+	if features == nil {
+		features = core.SingleThreadSetB()
+	}
+	if segments == nil {
+		segments = workload.Segments()
+	}
+	params := core.SingleThreadParams()
+	params.Features = features
+
+	rows := make([]Table3Row, len(features))
+	for i := range rows {
+		rows[i].Feature = features[i]
+		rows[i].PctIncrease = -1
+	}
+
+	for _, id := range segments {
+		progress.log("table3 %s", id)
+		gen := workload.NewGenerator(id, workload.CoreBase(0))
+		with := sim.RunFastMPKI(cfg, gen, mpppbFactory(params)).MPKI
+		for i := range features {
+			sub := make([]core.Feature, 0, len(features)-1)
+			sub = append(sub, features[:i]...)
+			sub = append(sub, features[i+1:]...)
+			p := params
+			p.Features = sub
+			without := sim.RunFastMPKI(cfg, gen, mpppbFactory(p)).MPKI
+			pct := 0.0
+			if with > 0 {
+				pct = 100 * (without - with) / with
+			} else if without > 0 {
+				pct = 100
+			}
+			if pct > rows[i].PctIncrease {
+				rows[i] = Table3Row{
+					Feature:     features[i],
+					Segment:     id,
+					MPKIWith:    with,
+					MPKIWithout: without,
+					PctIncrease: pct,
+				}
+			}
+		}
+	}
+	return rows
+}

@@ -1,0 +1,77 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6), mapped to experiment IDs fig1/fig3..fig10 and
+// table1..table3 (see DESIGN.md's experiment index). Each experiment is a
+// plain function from a configuration to a typed result; cmd/mpppb-
+// experiments renders results as TSV, and bench_test.go runs scaled-down
+// versions as Go benchmarks.
+package experiments
+
+import (
+	"fmt"
+
+	"mpppb/internal/sim"
+	"mpppb/internal/workload"
+)
+
+// Progress receives human-readable status lines; nil disables reporting.
+type Progress func(format string, args ...any)
+
+func (p Progress) log(format string, args ...any) {
+	if p != nil {
+		p(format, args...)
+	}
+}
+
+// DefaultSingleThreadPolicies are the realistic policies compared in the
+// single-thread evaluation (Figures 6 and 7); LRU and MIN are always run in
+// addition.
+func DefaultSingleThreadPolicies() []string { return []string{"hawkeye", "perceptron", "mpppb"} }
+
+// DefaultMultiCorePolicies are the policies of the multi-programmed
+// evaluation (Figures 4 and 5); LRU is always run in addition.
+func DefaultMultiCorePolicies() []string { return []string{"hawkeye", "perceptron", "mpppb-srrip"} }
+
+// mustPolicy resolves a registered policy or panics: experiment policy
+// lists are compiled in or validated by the caller.
+func mustPolicy(name string) sim.PolicyFactory {
+	pf, err := sim.Policy(name)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return pf
+}
+
+// TrainingMixes and TestingMixes split the canonical mix list as in
+// Section 5.3: the first 100 mixes train the feature search, the remaining
+// 900 are reported.
+func TrainingMixes(total []workload.Mix) []workload.Mix {
+	n := len(total) / 10
+	if n == 0 {
+		n = 1
+	}
+	return total[:n]
+}
+
+// TestingMixes returns the reporting portion of the canonical mix list.
+func TestingMixes(total []workload.Mix) []workload.Mix {
+	n := len(total) / 10
+	if n == 0 {
+		n = 1
+	}
+	return total[n:]
+}
+
+// TrainingSegments returns n segments spread across the suite (one per
+// stride of benchmarks), a diverse training set for the feature search.
+func TrainingSegments(n int) []workload.SegmentID {
+	all := workload.Segments()
+	if n <= 0 || n >= len(all) {
+		return all
+	}
+	stride := len(all) / n
+	out := make([]workload.SegmentID, 0, n)
+	for i := 0; i < len(all) && len(out) < n; i += stride {
+		out = append(out, all[i])
+	}
+	return out
+}

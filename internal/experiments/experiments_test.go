@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"testing"
+
+	"mpppb/internal/core"
+	"mpppb/internal/sim"
+	"mpppb/internal/workload"
+)
+
+// tinyST returns a very small single-thread config for experiment tests.
+func tinyST() sim.Config {
+	cfg := sim.SingleThreadConfig()
+	// Windows must cover at least two passes of the thrash-loop working
+	// sets for reuse to exist (see workload sizing).
+	cfg.Warmup = 150_000
+	cfg.Measure = 600_000
+	return cfg
+}
+
+func tinyMC() sim.Config {
+	cfg := sim.MultiCoreConfig()
+	cfg.Warmup = 30_000
+	cfg.Measure = 100_000
+	return cfg
+}
+
+func TestTrainingTestingMixSplit(t *testing.T) {
+	mixes := workload.Mixes(100, 1)
+	train := TrainingMixes(mixes)
+	test := TestingMixes(mixes)
+	if len(train) != 10 || len(test) != 90 {
+		t.Fatalf("split %d/%d, want 10/90", len(train), len(test))
+	}
+	// Disjoint by construction.
+	if train[len(train)-1] == test[0] {
+		t.Fatal("overlapping split")
+	}
+}
+
+func TestTrainingSegmentsSpread(t *testing.T) {
+	segs := TrainingSegments(8)
+	if len(segs) != 8 {
+		t.Fatalf("%d segments", len(segs))
+	}
+	benches := map[string]bool{}
+	for _, s := range segs {
+		benches[s.Bench] = true
+	}
+	if len(benches) < 6 {
+		t.Fatalf("training segments cover only %d benchmarks", len(benches))
+	}
+	if got := TrainingSegments(0); len(got) != 99 {
+		t.Fatalf("TrainingSegments(0) = %d, want all", len(got))
+	}
+}
+
+func TestSingleThreadExperimentSmall(t *testing.T) {
+	benches := []string{"libquantum_like", "povray_like"}
+	tab := SingleThread(tinyST(), []string{"mpppb"}, benches, nil)
+	for _, b := range benches {
+		if tab.Speedup["lru"][b] != 1 {
+			t.Fatalf("LRU speedup for %s = %g", b, tab.Speedup["lru"][b])
+		}
+		if tab.MPKI["min"][b] > tab.MPKI["lru"][b]+1e-9 {
+			t.Fatalf("%s: MIN MPKI above LRU", b)
+		}
+	}
+	// The thrash loop must show a large MPPPB win; povray must be flat.
+	if tab.Speedup["mpppb"]["libquantum_like"] < 1.2 {
+		t.Fatalf("libquantum speedup %.3f", tab.Speedup["mpppb"]["libquantum_like"])
+	}
+	if s := tab.Speedup["mpppb"]["povray_like"]; s < 0.97 || s > 1.03 {
+		t.Fatalf("povray speedup %.3f, want ~1", s)
+	}
+	if tab.GeomeanSpeedup["mpppb"] <= 1 {
+		t.Fatalf("geomean %.3f", tab.GeomeanSpeedup["mpppb"])
+	}
+	// Ordering of the sorted-by-speedup axis.
+	order := tab.BenchmarksBySpeedup("mpppb")
+	if tab.Speedup["mpppb"][order[0]] > tab.Speedup["mpppb"][order[1]] {
+		t.Fatal("BenchmarksBySpeedup not ascending")
+	}
+	if n := tab.BestCount["mpppb"]; n != 2 {
+		t.Fatalf("BestCount = %d with a single policy", n)
+	}
+}
+
+func TestMultiCoreExperimentSmall(t *testing.T) {
+	mixes := workload.Mixes(2, 5)
+	tab := MultiCore(tinyMC(), []string{"mpppb-srrip"}, mixes, nil)
+	if len(tab.WeightedSpeedup["mpppb-srrip"]) != 2 {
+		t.Fatal("missing mix results")
+	}
+	for _, ws := range tab.WeightedSpeedup["lru"] {
+		if ws != 1 {
+			t.Fatalf("LRU normalized WS = %g", ws)
+		}
+	}
+	for _, ws := range tab.WeightedSpeedup["mpppb-srrip"] {
+		if ws < 0.5 || ws > 2.5 {
+			t.Fatalf("weighted speedup %g implausible", ws)
+		}
+	}
+	curve := tab.SpeedupSCurve("mpppb-srrip")
+	if len(curve) == 2 && curve[0] > curve[1] {
+		t.Fatal("S-curve not sorted")
+	}
+	mp := tab.MPKISCurve("lru")
+	if len(mp) == 2 && mp[0] < mp[1] {
+		t.Fatal("MPKI curve not descending")
+	}
+}
+
+func TestROCCurvesExperimentSmall(t *testing.T) {
+	segs := []workload.SegmentID{{Bench: "gcc_like", Seg: 0}}
+	// Accuracy comparisons need enough instructions to train the
+	// predictors; the tiny config above is too short for a fair ROC.
+	cfg := tinyST()
+	cfg.Warmup = 250_000
+	cfg.Measure = 700_000
+	tab := ROCCurves(cfg, nil, segs, nil)
+	for _, p := range tab.Predictors {
+		if tab.Samples[p] == 0 {
+			t.Fatalf("%s: no samples", p)
+		}
+		if tab.AUC[p] <= 0 || tab.AUC[p] > 1 {
+			t.Fatalf("%s: AUC %g", p, tab.AUC[p])
+		}
+	}
+	// The paper's accuracy claim, in miniature: multiperspective beats the
+	// single-feature-family baselines on this workload.
+	if tab.AUC["mpppb"] <= tab.AUC["sdbp"] {
+		t.Fatalf("mpppb AUC %.3f <= sdbp %.3f", tab.AUC["mpppb"], tab.AUC["sdbp"])
+	}
+}
+
+func TestFig9Small(t *testing.T) {
+	mixes := workload.Mixes(1, 9)
+	res := Fig9UniformAssociativity(tinyMC(), mixes, nil)
+	if res.OriginalWS <= 0 {
+		t.Fatal("no original result")
+	}
+	for a, ws := range res.UniformWS {
+		if ws <= 0 {
+			t.Fatalf("A=%d missing", a+1)
+		}
+	}
+}
+
+func TestFig10Small(t *testing.T) {
+	mixes := workload.Mixes(1, 9)
+	feats := core.SingleThreadSetA()[:4]
+	res := Fig10FeatureAblation(tinyMC(), feats, mixes, nil)
+	if len(res.OmittedWS) != 4 {
+		t.Fatalf("%d omissions", len(res.OmittedWS))
+	}
+	for i, ws := range res.OmittedWS {
+		if ws <= 0 {
+			t.Fatalf("omission %d missing", i)
+		}
+	}
+}
+
+func TestTable3Small(t *testing.T) {
+	segs := []workload.SegmentID{{Bench: "sphinx3_like", Seg: 0}, {Bench: "gcc_like", Seg: 0}}
+	feats := core.SingleThreadSetB()[:3]
+	rows := Table3FeatureBenefit(tinyST(), feats, segs, nil)
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Segment.Bench == "" {
+			t.Fatalf("feature %s has no best segment", r.Feature)
+		}
+	}
+}
+
+func TestFig3Small(t *testing.T) {
+	res := Fig3FeatureSearch(tinyST(), TrainingSegments(2), 3, 3, 11, nil)
+	if len(res.RandomMPKI) != 3 {
+		t.Fatalf("%d random results", len(res.RandomMPKI))
+	}
+	// Sorted descending (worst first).
+	if res.RandomMPKI[0] < res.RandomMPKI[2] {
+		t.Fatal("random MPKIs not sorted descending")
+	}
+	if res.MINMPKI > res.LRUMPKI {
+		t.Fatal("MIN worse than LRU")
+	}
+	if res.Evaluations == 0 {
+		t.Fatal("no evaluations counted")
+	}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"mpppb/internal/sim"
+	"mpppb/internal/stats"
+	"mpppb/internal/workload"
+)
+
+// MultiCoreTable holds the data behind Figures 4 (normalized weighted
+// speedup S-curve) and 5 (MPKI S-curve) for 4-core multi-programmed
+// workloads.
+type MultiCoreTable struct {
+	Policies []string
+	Mixes    []workload.Mix
+	// WeightedSpeedup[policy][i] is mix i's weighted speedup normalized to
+	// LRU (LRU's own row is identically 1).
+	WeightedSpeedup map[string][]float64
+	// MPKI[policy][i] is mix i's shared-LLC MPKI.
+	MPKI map[string][]float64
+	// GeomeanSpeedup[policy] across mixes.
+	GeomeanSpeedup map[string]float64
+	// MeanMPKI[policy] arithmetic mean across mixes.
+	MeanMPKI map[string]float64
+	// BelowLRU[policy] counts mixes with normalized speedup < 1 (Section
+	// 6.1.1's stability comparison).
+	BelowLRU map[string]int
+}
+
+// MultiCore runs the multi-programmed evaluation over the given mixes.
+func MultiCore(cfg sim.Config, policies []string, mixes []workload.Mix, progress Progress) *MultiCoreTable {
+	t := &MultiCoreTable{
+		Policies:        policies,
+		Mixes:           mixes,
+		WeightedSpeedup: map[string][]float64{},
+		MPKI:            map[string][]float64{},
+		GeomeanSpeedup:  map[string]float64{},
+		MeanMPKI:        map[string]float64{},
+		BelowLRU:        map[string]int{},
+	}
+	singles := sim.NewSingleIPCCache(cfg)
+	lruPF := mustPolicy("lru")
+
+	for i, mix := range mixes {
+		progress.log("multi-core mix %d/%d %s", i+1, len(mixes), mix)
+		single := singles.For(mix)
+		lruRes := sim.RunMulti(cfg, mix, lruPF)
+		lruWS := lruRes.WeightedSpeedup(single)
+		t.WeightedSpeedup["lru"] = append(t.WeightedSpeedup["lru"], 1.0)
+		t.MPKI["lru"] = append(t.MPKI["lru"], lruRes.MPKI)
+		for _, p := range policies {
+			res := sim.RunMulti(cfg, mix, mustPolicy(p))
+			ws := res.WeightedSpeedup(single) / lruWS
+			t.WeightedSpeedup[p] = append(t.WeightedSpeedup[p], ws)
+			t.MPKI[p] = append(t.MPKI[p], res.MPKI)
+			if ws < 1 {
+				t.BelowLRU[p]++
+			}
+		}
+	}
+
+	for _, p := range append([]string{"lru"}, policies...) {
+		t.GeomeanSpeedup[p] = stats.GeoMean(t.WeightedSpeedup[p])
+		t.MeanMPKI[p] = stats.Mean(t.MPKI[p])
+	}
+	return t
+}
+
+// SpeedupSCurve returns a policy's normalized weighted speedups in
+// ascending order (Figure 4's presentation).
+func (t *MultiCoreTable) SpeedupSCurve(policy string) []float64 {
+	return stats.Sorted(t.WeightedSpeedup[policy])
+}
+
+// MPKISCurve returns a policy's per-mix MPKI in descending order (Figure
+// 5's worst-to-best presentation).
+func (t *MultiCoreTable) MPKISCurve(policy string) []float64 {
+	return stats.SortedDesc(t.MPKI[policy])
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"mpppb/internal/sim"
+	"mpppb/internal/stats"
+	"mpppb/internal/workload"
+)
+
+// ROCTable holds the data behind Figures 1 and 8: ROC curves for the three
+// comparable reuse predictors over the single-thread suite.
+type ROCTable struct {
+	// Predictors in presentation order: sdbp, perceptron, mpppb.
+	Predictors []string
+	// Curves[predictor] is the ROC over the pooled samples of all
+	// segments run.
+	Curves map[string][]stats.ROCPoint
+	// AUC[predictor] is the area under the curve.
+	AUC map[string]float64
+	// TPRAt30[predictor] is the true-positive rate at a 30% false-positive
+	// rate, inside the paper's bypass-relevant 25-31% band (Figure 8(b)).
+	TPRAt30 map[string]float64
+	// Samples[predictor] counts pooled prediction outcomes.
+	Samples map[string]int
+}
+
+// DefaultROCPredictors lists the predictors with comparable confidences.
+func DefaultROCPredictors() []string { return []string{"sdbp", "perceptron", "mpppb"} }
+
+// ROCCurves runs measurement-only simulations for each predictor over the
+// given segments, pooling (confidence, outcome) samples into one curve per
+// predictor. The paper averages per-benchmark curves; pooling weights
+// benchmarks by their access counts instead, which preserves the ordering
+// the figure demonstrates.
+func ROCCurves(cfg sim.Config, predictors []string, segments []workload.SegmentID, progress Progress) *ROCTable {
+	if predictors == nil {
+		predictors = DefaultROCPredictors()
+	}
+	if segments == nil {
+		segments = workload.Segments()
+	}
+	t := &ROCTable{
+		Predictors: predictors,
+		Curves:     map[string][]stats.ROCPoint{},
+		AUC:        map[string]float64{},
+		TPRAt30:    map[string]float64{},
+		Samples:    map[string]int{},
+	}
+	for _, pred := range predictors {
+		cf, err := sim.Confidence(pred)
+		if err != nil {
+			panic("experiments: " + err.Error())
+		}
+		var pool []stats.ROCSample
+		for _, id := range segments {
+			progress.log("roc %s %s", pred, id)
+			gen := workload.NewGenerator(id, workload.CoreBase(0))
+			pool = append(pool, sim.RunROC(cfg, gen, cf)...)
+		}
+		curve := stats.ROC(pool)
+		t.Curves[pred] = curve
+		t.AUC[pred] = stats.AUC(curve)
+		t.TPRAt30[pred] = stats.TPRAtFPR(curve, 0.30)
+		t.Samples[pred] = len(pool)
+	}
+	return t
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"sort"
+
+	"mpppb/internal/sim"
+	"mpppb/internal/stats"
+	"mpppb/internal/workload"
+)
+
+// SingleThreadTable holds the data behind Figures 6 (speedup over LRU) and
+// 7 (MPKI) for the single-thread suite. Per-benchmark numbers aggregate the
+// benchmark's segments with their simpoint-style weights
+// (workload.SegmentWeights), as in Section 4.2.
+type SingleThreadTable struct {
+	// Policies lists the realistic policies (lru and min are implicit).
+	Policies []string
+	// Benchmarks in suite order.
+	Benchmarks []string
+	// IPC[policy][bench]; includes "lru" and "min" entries.
+	IPC map[string]map[string]float64
+	// Speedup[policy][bench] is IPC relative to LRU.
+	Speedup map[string]map[string]float64
+	// MPKI[policy][bench]; includes "lru" and "min".
+	MPKI map[string]map[string]float64
+	// GeomeanSpeedup[policy] across benchmarks; includes "min".
+	GeomeanSpeedup map[string]float64
+	// MeanMPKI[policy] arithmetic mean across benchmarks.
+	MeanMPKI map[string]float64
+	// BestCount[policy] counts benchmarks where the policy had the best
+	// speedup among the realistic policies (Section 6.2.1's "22 out of 33").
+	BestCount map[string]int
+}
+
+// AllSingleThreadPolicies returns the policy column order including the
+// implicit entries.
+func (t *SingleThreadTable) AllSingleThreadPolicies() []string {
+	return append(append([]string{"lru"}, t.Policies...), "min")
+}
+
+// SingleThread runs the single-thread evaluation: every benchmark segment
+// under LRU, MIN, and the given policies.
+func SingleThread(cfg sim.Config, policies []string, benches []string, progress Progress) *SingleThreadTable {
+	if benches == nil {
+		benches = workload.Benchmarks()
+	}
+	t := &SingleThreadTable{
+		Policies:       policies,
+		Benchmarks:     benches,
+		IPC:            map[string]map[string]float64{},
+		Speedup:        map[string]map[string]float64{},
+		MPKI:           map[string]map[string]float64{},
+		GeomeanSpeedup: map[string]float64{},
+		MeanMPKI:       map[string]float64{},
+		BestCount:      map[string]int{},
+	}
+	all := t.AllSingleThreadPolicies()
+	for _, p := range all {
+		t.IPC[p] = map[string]float64{}
+		t.Speedup[p] = map[string]float64{}
+		t.MPKI[p] = map[string]float64{}
+	}
+
+	segWeights := workload.SegmentWeights()
+	for _, bench := range benches {
+		ipcs := map[string][]float64{}
+		mpkis := map[string][]float64{}
+		for seg := 0; seg < workload.SegmentsPerBenchmark; seg++ {
+			id := workload.SegmentID{Bench: bench, Seg: seg}
+			progress.log("single-thread %s", id)
+			gen := workload.NewGenerator(id, workload.CoreBase(0))
+			lruRes, minRes := sim.RunSingleMIN(cfg, gen)
+			ipcs["lru"] = append(ipcs["lru"], lruRes.IPC)
+			mpkis["lru"] = append(mpkis["lru"], lruRes.MPKI)
+			ipcs["min"] = append(ipcs["min"], minRes.IPC)
+			mpkis["min"] = append(mpkis["min"], minRes.MPKI)
+			for _, p := range policies {
+				res := sim.RunSingle(cfg, gen, mustPolicy(p))
+				ipcs[p] = append(ipcs[p], res.IPC)
+				mpkis[p] = append(mpkis[p], res.MPKI)
+			}
+		}
+		for _, p := range all {
+			t.IPC[p][bench] = stats.WeightedMean(ipcs[p], segWeights[:])
+			t.MPKI[p][bench] = stats.WeightedMean(mpkis[p], segWeights[:])
+			t.Speedup[p][bench] = t.IPC[p][bench] / t.IPC["lru"][bench]
+		}
+		// Track which realistic policy wins this benchmark.
+		best, bestV := "", 0.0
+		for _, p := range policies {
+			if t.Speedup[p][bench] > bestV {
+				best, bestV = p, t.Speedup[p][bench]
+			}
+		}
+		if best != "" {
+			t.BestCount[best]++
+		}
+	}
+
+	for _, p := range all {
+		var sp, mp []float64
+		for _, b := range benches {
+			sp = append(sp, t.Speedup[p][b])
+			mp = append(mp, t.MPKI[p][b])
+		}
+		t.GeomeanSpeedup[p] = stats.GeoMean(sp)
+		t.MeanMPKI[p] = stats.Mean(mp)
+	}
+	return t
+}
+
+// BenchmarksBySpeedup returns the benchmarks sorted ascending by a policy's
+// speedup, the x-axis ordering of Figure 6.
+func (t *SingleThreadTable) BenchmarksBySpeedup(policy string) []string {
+	out := make([]string, len(t.Benchmarks))
+	copy(out, t.Benchmarks)
+	sort.Slice(out, func(i, j int) bool {
+		return t.Speedup[policy][out[i]] < t.Speedup[policy][out[j]]
+	})
+	return out
+}

@@ -1,0 +1,129 @@
+package policy
+
+import (
+	"mpppb/internal/cache"
+	"mpppb/internal/xrand"
+)
+
+// BIP is bimodal insertion (Qureshi et al., ISCA 2007): blocks insert at
+// the LRU position except for a small fraction inserted at MRU, protecting
+// the cache from thrashing working sets while letting a trickle of new
+// blocks establish themselves.
+type BIP struct {
+	lru *LRU
+	// Epsilon is the 1-in-N rate of MRU insertions.
+	Epsilon int
+	ways    int
+	rng     *xrand.RNG
+}
+
+// NewBIP constructs bimodal insertion with the conventional 1/32 rate.
+func NewBIP(sets, ways int, seed uint64) *BIP {
+	return &BIP{lru: NewLRU(sets, ways), Epsilon: 32, ways: ways, rng: xrand.New(seed)}
+}
+
+// Name implements cache.ReplacementPolicy.
+func (b *BIP) Name() string { return "bip" }
+
+// Hit implements cache.ReplacementPolicy.
+func (b *BIP) Hit(set, way int, a cache.Access) { b.lru.Hit(set, way, a) }
+
+// Victim implements cache.ReplacementPolicy.
+func (b *BIP) Victim(set int, a cache.Access) (int, bool) { return b.lru.Victim(set, a) }
+
+// Fill implements cache.ReplacementPolicy: LRU-position insertion except
+// one in Epsilon fills.
+func (b *BIP) Fill(set, way int, a cache.Access) {
+	if b.rng.Intn(b.Epsilon) == 0 {
+		b.lru.touch(set, way, 0)
+	} else {
+		b.lru.touch(set, way, b.ways-1)
+	}
+}
+
+// Evict implements cache.ReplacementPolicy.
+func (b *BIP) Evict(int, int, uint64) {}
+
+var _ cache.ReplacementPolicy = (*BIP)(nil)
+
+// DIP is dynamic insertion policy (Qureshi et al., ISCA 2007): set-dueling
+// between LRU insertion and BIP, the mechanism the paper's DRRIP also uses
+// (citation [23]). Included as a further baseline: DIP defeats thrashing
+// without any prediction structures at all.
+type DIP struct {
+	lru     *LRU
+	sets    int
+	ways    int
+	epsilon int
+	rng     *xrand.RNG
+	psel    int
+	pselMax int
+	stride  int
+}
+
+// NewDIP constructs DIP with 32 leader sets per policy.
+func NewDIP(sets, ways int, seed uint64) *DIP {
+	stride := sets / 32
+	if stride < 2 {
+		stride = 2
+	}
+	return &DIP{
+		lru:     NewLRU(sets, ways),
+		sets:    sets,
+		ways:    ways,
+		epsilon: 32,
+		rng:     xrand.New(seed),
+		pselMax: 512,
+		stride:  stride,
+	}
+}
+
+// leaderKind: 0 = LRU leader, 1 = BIP leader, 2 = follower.
+func (d *DIP) leaderKind(set int) int {
+	switch set % d.stride {
+	case 0:
+		return 0
+	case d.stride / 2:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Name implements cache.ReplacementPolicy.
+func (d *DIP) Name() string { return "dip" }
+
+// Hit implements cache.ReplacementPolicy.
+func (d *DIP) Hit(set, way int, a cache.Access) { d.lru.Hit(set, way, a) }
+
+// Victim implements cache.ReplacementPolicy.
+func (d *DIP) Victim(set int, a cache.Access) (int, bool) { return d.lru.Victim(set, a) }
+
+// Fill implements cache.ReplacementPolicy: leaders use their fixed
+// insertion and vote on misses; followers use the PSEL winner.
+func (d *DIP) Fill(set, way int, a cache.Access) {
+	useLRU := true
+	switch d.leaderKind(set) {
+	case 0:
+		if d.psel > -d.pselMax {
+			d.psel--
+		}
+	case 1:
+		useLRU = false
+		if d.psel < d.pselMax {
+			d.psel++
+		}
+	default:
+		useLRU = d.psel >= 0
+	}
+	if useLRU || d.rng.Intn(d.epsilon) == 0 {
+		d.lru.touch(set, way, 0)
+	} else {
+		d.lru.touch(set, way, d.ways-1)
+	}
+}
+
+// Evict implements cache.ReplacementPolicy.
+func (d *DIP) Evict(int, int, uint64) {}
+
+var _ cache.ReplacementPolicy = (*DIP)(nil)

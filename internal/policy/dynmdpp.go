@@ -1,0 +1,127 @@
+package policy
+
+import (
+	"mpppb/internal/cache"
+)
+
+// DynMDPP is the adaptive variant of MDPP sketched in Teran et al. (HPCA
+// 2016), the default-policy citation [27] of the paper: several candidate
+// placement/promotion position pairs duel via dedicated leader sets, and
+// follower sets use the pair whose leaders miss least. The paper itself
+// uses *static* MDPP ("static MDPP uses tree-based pseudoLRU with an
+// enhanced promotion policy"); the dynamic variant ships here as an extra
+// baseline and as the natural ablation of that choice.
+type DynMDPP struct {
+	tree *TreePLRU
+	sets int
+	// candidates are (place, promote) position pairs under duel.
+	candidates [][2]int
+	// misses counts leader-set misses per candidate since the last decay.
+	misses []uint32
+	stride int
+	// decayPeriod halves the miss counters periodically so the duel
+	// tracks phase changes.
+	decayPeriod uint32
+	fills       uint32
+}
+
+// NewDynMDPP constructs the adaptive policy with a conventional candidate
+// spread: full-insert/full-promote (classic PLRU), guarded insertion, and
+// near-LRU insertion.
+func NewDynMDPP(sets, ways int) *DynMDPP {
+	d := &DynMDPP{
+		tree: NewTreePLRU(sets, ways),
+		sets: sets,
+		candidates: [][2]int{
+			{0, 0},               // classic PLRU
+			{ways / 2, 0},        // guarded insertion, full promotion
+			{ways - 1, 0},        // LRU-like insertion, full promotion
+			{ways / 2, ways / 4}, // guarded insertion and promotion
+		},
+		decayPeriod: 8192,
+	}
+	d.misses = make([]uint32, len(d.candidates))
+	d.stride = sets / (16 * len(d.candidates))
+	// At least one follower slot must exist between leader groups.
+	if d.stride < 2*len(d.candidates) {
+		d.stride = 2 * len(d.candidates)
+	}
+	return d
+}
+
+// leader returns the candidate index whose leader group owns the set, or
+// -1 for follower sets.
+func (d *DynMDPP) leader(set int) int {
+	r := set % d.stride
+	if r < len(d.candidates) {
+		return r
+	}
+	return -1
+}
+
+// best returns the candidate with the fewest leader misses.
+func (d *DynMDPP) best() int {
+	bi, bv := 0, d.misses[0]
+	for i, v := range d.misses[1:] {
+		if v < bv {
+			bi, bv = i+1, v
+		}
+	}
+	return bi
+}
+
+// positionsFor picks the active (place, promote) pair for a set.
+func (d *DynMDPP) positionsFor(set int) [2]int {
+	if l := d.leader(set); l >= 0 {
+		return d.candidates[l]
+	}
+	return d.candidates[d.best()]
+}
+
+// maskFor mirrors MDPP's position-to-level-mask mapping.
+func (d *DynMDPP) maskFor(pos int) uint32 {
+	levels := d.tree.levels
+	inv := uint32(^pos) & ((1 << uint(levels)) - 1)
+	var mask uint32
+	for l := 0; l < levels; l++ {
+		if inv&(1<<uint(levels-1-l)) != 0 {
+			mask |= 1 << uint(l)
+		}
+	}
+	return mask
+}
+
+// Name implements cache.ReplacementPolicy.
+func (d *DynMDPP) Name() string { return "dyn-mdpp" }
+
+// Hit implements cache.ReplacementPolicy.
+func (d *DynMDPP) Hit(set, way int, _ cache.Access) {
+	pos := d.positionsFor(set)[1]
+	d.tree.TouchMasked(set, way, d.maskFor(pos))
+}
+
+// Victim implements cache.ReplacementPolicy.
+func (d *DynMDPP) Victim(set int, _ cache.Access) (int, bool) {
+	return d.tree.VictimWay(set), false
+}
+
+// Fill implements cache.ReplacementPolicy: leaders vote with their misses.
+func (d *DynMDPP) Fill(set, way int, _ cache.Access) {
+	if l := d.leader(set); l >= 0 {
+		d.misses[l]++
+	}
+	d.fills++
+	if d.fills >= d.decayPeriod {
+		d.fills = 0
+		for i := range d.misses {
+			d.misses[i] >>= 1
+		}
+	}
+	pos := d.positionsFor(set)[0]
+	d.tree.TouchMasked(set, way, d.maskFor(pos))
+}
+
+// Evict implements cache.ReplacementPolicy.
+func (d *DynMDPP) Evict(int, int, uint64) {}
+
+var _ cache.ReplacementPolicy = (*DynMDPP)(nil)

@@ -1,0 +1,94 @@
+// Package policy implements the baseline replacement policies the paper
+// builds on and compares against: true LRU, random, tree-based pseudo-LRU,
+// SRRIP and DRRIP (Jaleel et al., ISCA 2010), and static MDPP (Teran et
+// al., HPCA 2016), the default policy under single-thread MPPPB.
+//
+// All policies implement cache.ReplacementPolicy and are constructed for a
+// fixed geometry.
+package policy
+
+import (
+	"fmt"
+
+	"mpppb/internal/cache"
+)
+
+// LRU is true least-recently-used replacement. It keeps an explicit recency
+// rank per block (0 = MRU) so recency positions can be inspected, which the
+// paper's sampler and the MDPP position machinery rely on.
+type LRU struct {
+	ways  int
+	ranks []uint8 // sets*ways
+}
+
+// NewLRU constructs LRU state for the given geometry.
+func NewLRU(sets, ways int) *LRU {
+	if ways > 255 {
+		panic("policy: LRU supports at most 255 ways")
+	}
+	l := &LRU{ways: ways, ranks: make([]uint8, sets*ways)}
+	// Start each set as a well-formed stack: way i at rank i.
+	for s := 0; s < sets; s++ {
+		for w := 0; w < ways; w++ {
+			l.ranks[s*ways+w] = uint8(w)
+		}
+	}
+	return l
+}
+
+// Name implements cache.ReplacementPolicy.
+func (l *LRU) Name() string { return "lru" }
+
+// Rank returns the recency rank of (set, way): 0 is MRU, ways-1 is LRU.
+func (l *LRU) Rank(set, way int) int { return int(l.ranks[set*l.ways+way]) }
+
+// touch moves (set, way) to rank `to`, shifting intervening blocks by one.
+func (l *LRU) touch(set, way, to int) {
+	base := set * l.ways
+	from := int(l.ranks[base+way])
+	if from == to {
+		return
+	}
+	if from > to {
+		// Promote: everything in [to, from) moves down one.
+		for w := 0; w < l.ways; w++ {
+			r := int(l.ranks[base+w])
+			if r >= to && r < from {
+				l.ranks[base+w] = uint8(r + 1)
+			}
+		}
+	} else {
+		// Demote: everything in (from, to] moves up one.
+		for w := 0; w < l.ways; w++ {
+			r := int(l.ranks[base+w])
+			if r > from && r <= to {
+				l.ranks[base+w] = uint8(r - 1)
+			}
+		}
+	}
+	l.ranks[base+way] = uint8(to)
+}
+
+// Hit implements cache.ReplacementPolicy: promote to MRU.
+func (l *LRU) Hit(set, way int, _ cache.Access) { l.touch(set, way, 0) }
+
+// Victim implements cache.ReplacementPolicy: evict the LRU block.
+func (l *LRU) Victim(set int, _ cache.Access) (int, bool) {
+	base := set * l.ways
+	for w := 0; w < l.ways; w++ {
+		if int(l.ranks[base+w]) == l.ways-1 {
+			return w, false
+		}
+	}
+	// Unreachable for well-formed stacks.
+	panic(fmt.Sprintf("policy: LRU set %d has no rank-%d block", set, l.ways-1))
+}
+
+// Fill implements cache.ReplacementPolicy: insert at MRU.
+func (l *LRU) Fill(set, way int, _ cache.Access) { l.touch(set, way, 0) }
+
+// Evict implements cache.ReplacementPolicy (no action; the subsequent Fill
+// re-ranks the frame).
+func (l *LRU) Evict(int, int, uint64) {}
+
+var _ cache.ReplacementPolicy = (*LRU)(nil)

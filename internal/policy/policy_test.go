@@ -1,0 +1,444 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mpppb/internal/cache"
+)
+
+var noAccess = cache.Access{}
+
+func TestLRUInitialRanksWellFormed(t *testing.T) {
+	l := NewLRU(4, 8)
+	for s := 0; s < 4; s++ {
+		seen := make([]bool, 8)
+		for w := 0; w < 8; w++ {
+			r := l.Rank(s, w)
+			if r < 0 || r >= 8 || seen[r] {
+				t.Fatalf("set %d: bad initial rank %d for way %d", s, r, w)
+			}
+			seen[r] = true
+		}
+	}
+}
+
+func TestLRUHitPromotes(t *testing.T) {
+	l := NewLRU(1, 4)
+	l.Hit(0, 3, noAccess)
+	if l.Rank(0, 3) != 0 {
+		t.Fatalf("hit way rank = %d, want 0", l.Rank(0, 3))
+	}
+	// Ranks remain a permutation.
+	seen := make([]bool, 4)
+	for w := 0; w < 4; w++ {
+		seen[l.Rank(0, w)] = true
+	}
+	for r, ok := range seen {
+		if !ok {
+			t.Fatalf("rank %d missing after promotion", r)
+		}
+	}
+}
+
+func TestLRUVictimIsLeastRecent(t *testing.T) {
+	l := NewLRU(1, 4)
+	order := []int{2, 0, 3, 1} // touch in this order: way 2 is LRU at the end
+	for _, w := range order {
+		l.Hit(0, w, noAccess)
+	}
+	v, bypass := l.Victim(0, noAccess)
+	if bypass || v != 2 {
+		t.Fatalf("victim = %d (bypass=%v), want 2", v, bypass)
+	}
+}
+
+func TestLRURanksStayPermutation(t *testing.T) {
+	if err := quick.Check(func(touches []uint8) bool {
+		l := NewLRU(2, 8)
+		for _, tc := range touches {
+			set := int(tc>>7) & 1
+			way := int(tc) % 8
+			if tc%3 == 0 {
+				l.Fill(set, way, noAccess)
+			} else {
+				l.Hit(set, way, noAccess)
+			}
+		}
+		for s := 0; s < 2; s++ {
+			seen := make([]bool, 8)
+			for w := 0; w < 8; w++ {
+				r := l.Rank(s, w)
+				if r < 0 || r >= 8 || seen[r] {
+					return false
+				}
+				seen[r] = true
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomVictimInRange(t *testing.T) {
+	r := NewRandom(8, 1)
+	for i := 0; i < 1000; i++ {
+		v, bypass := r.Victim(0, noAccess)
+		if bypass || v < 0 || v >= 8 {
+			t.Fatalf("victim %d out of range", v)
+		}
+	}
+}
+
+func TestTreePLRUVictimAvoidsRecentlyTouched(t *testing.T) {
+	p := NewTreePLRU(1, 8)
+	// Touch everything, then the victim must not be the most recent.
+	for w := 0; w < 8; w++ {
+		p.Hit(0, w, noAccess)
+	}
+	v, _ := p.Victim(0, noAccess)
+	if v == 7 {
+		t.Fatal("victim is the most recently touched way")
+	}
+}
+
+func TestTreePLRUSingleTouchProtects(t *testing.T) {
+	for w := 0; w < 8; w++ {
+		p := NewTreePLRU(1, 8)
+		p.Hit(0, w, noAccess)
+		if v, _ := p.Victim(0, noAccess); v == w {
+			t.Fatalf("way %d victimized immediately after touch", w)
+		}
+	}
+}
+
+func TestTreePLRUCyclicFairness(t *testing.T) {
+	// Repeatedly evicting and refilling must cycle through all ways rather
+	// than stick on a few.
+	p := NewTreePLRU(1, 8)
+	seen := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		v, _ := p.Victim(0, noAccess)
+		seen[v] = true
+		p.Fill(0, v, noAccess)
+	}
+	if len(seen) != 8 {
+		t.Fatalf("eviction cycle covered %d of 8 ways", len(seen))
+	}
+}
+
+func TestTreePLRUGeometryValidation(t *testing.T) {
+	for _, ways := range []int{3, 0, 64} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTreePLRU with %d ways did not panic", ways)
+				}
+			}()
+			NewTreePLRU(1, ways)
+		}()
+	}
+}
+
+func TestSRRIPInsertionAndPromotion(t *testing.T) {
+	s := NewSRRIP(1, 4)
+	s.Fill(0, 0, noAccess)
+	if got := s.RRPV(0, 0); got != RRPVLong {
+		t.Fatalf("insert RRPV = %d, want %d", got, RRPVLong)
+	}
+	s.Hit(0, 0, noAccess)
+	if got := s.RRPV(0, 0); got != RRPVImmediate {
+		t.Fatalf("hit RRPV = %d, want 0", got)
+	}
+}
+
+func TestSRRIPVictimPrefersDistant(t *testing.T) {
+	s := NewSRRIP(1, 4)
+	for w := 0; w < 4; w++ {
+		s.Fill(0, w, noAccess)
+	}
+	s.SetRRPV(0, 2, RRPVMax)
+	v, bypass := s.Victim(0, noAccess)
+	if bypass || v != 2 {
+		t.Fatalf("victim = %d, want 2", v)
+	}
+}
+
+func TestSRRIPAgingConverges(t *testing.T) {
+	s := NewSRRIP(1, 4)
+	for w := 0; w < 4; w++ {
+		s.Fill(0, w, noAccess)
+		s.Hit(0, w, noAccess) // all at RRPV 0
+	}
+	v, _ := s.Victim(0, noAccess)
+	if v != 0 {
+		t.Fatalf("aged victim = %d, want first way", v)
+	}
+	// Aging must have advanced everyone to RRPVMax.
+	for w := 0; w < 4; w++ {
+		if s.RRPV(0, w) != RRPVMax {
+			t.Fatalf("way %d RRPV %d after aging", w, s.RRPV(0, w))
+		}
+	}
+}
+
+func TestDRRIPLeaderAssignment(t *testing.T) {
+	d := NewDRRIP(2048, 16, 1)
+	kinds := map[int]int{}
+	for s := 0; s < 2048; s++ {
+		kinds[d.leaderKind(s)]++
+	}
+	if kinds[0] != drripLeaders || kinds[1] != drripLeaders {
+		t.Fatalf("leader counts: %v", kinds)
+	}
+	if kinds[2] != 2048-2*drripLeaders {
+		t.Fatalf("follower count: %v", kinds)
+	}
+}
+
+func TestDRRIPDuel(t *testing.T) {
+	d := NewDRRIP(64, 4, 1)
+	// Misses in SRRIP leader sets push PSEL toward BRRIP and vice versa.
+	before := d.psel
+	d.Fill(0, 0, noAccess) // set 0 is an SRRIP leader (stride 2, set%2==0)
+	if d.psel >= before {
+		t.Fatal("SRRIP-leader miss did not decrement PSEL")
+	}
+	before = d.psel
+	d.Fill(1, 0, noAccess) // BRRIP leader
+	if d.psel <= before {
+		t.Fatal("BRRIP-leader miss did not increment PSEL")
+	}
+}
+
+func TestDRRIPVictimTerminates(t *testing.T) {
+	d := NewDRRIP(4, 4, 1)
+	for w := 0; w < 4; w++ {
+		d.Fill(2, w, noAccess)
+		d.Hit(2, w, noAccess)
+	}
+	v, bypass := d.Victim(2, noAccess)
+	if bypass || v < 0 || v >= 4 {
+		t.Fatalf("victim = %d", v)
+	}
+}
+
+func TestMDPPPositionZeroActsLikeFullPromotion(t *testing.T) {
+	m := NewMDPP(1, 16)
+	plru := NewTreePLRU(1, 16)
+	// Promoting to position 0 must equal classic PLRU touch: same victims.
+	seq := []int{3, 7, 1, 15, 8, 0, 12, 7, 3}
+	for _, w := range seq {
+		m.PromoteAt(0, w, 0)
+		plru.Hit(0, w, noAccess)
+	}
+	mv, _ := m.Victim(0, noAccess)
+	pv, _ := plru.Victim(0, noAccess)
+	if mv != pv {
+		t.Fatalf("MDPP pos-0 victim %d != PLRU victim %d", mv, pv)
+	}
+}
+
+func TestMDPPPositionLastLeavesTreeUntouched(t *testing.T) {
+	m := NewMDPP(1, 16)
+	v0, _ := m.Victim(0, noAccess)
+	m.PlaceAt(0, (v0+1)%16, 15) // least-protected placement changes nothing
+	v1, _ := m.Victim(0, noAccess)
+	if v0 != v1 {
+		t.Fatalf("position-15 placement disturbed the tree: %d -> %d", v0, v1)
+	}
+}
+
+func TestMDPPRootBitDominates(t *testing.T) {
+	m := NewMDPP(1, 16)
+	// Position 7 (mask 1000b inverted = only root) points the root away;
+	// the next victim must come from the other half of the set.
+	m.PlaceAt(0, 0, 7)
+	v, _ := m.Victim(0, noAccess)
+	if v < 8 {
+		t.Fatalf("root-away placement for way 0 still victimizes same half (way %d)", v)
+	}
+}
+
+func TestMDPPDefaultRoundTrip(t *testing.T) {
+	m := NewMDPP(2, 16)
+	if m.Positions() != 16 {
+		t.Fatalf("Positions = %d", m.Positions())
+	}
+	// As a plain policy it must behave sanely: fills and hits never panic
+	// and victims stay in range.
+	for i := 0; i < 200; i++ {
+		w := i % 16
+		m.Fill(1, w, noAccess)
+		if i%3 == 0 {
+			m.Hit(1, w, noAccess)
+		}
+		v, bypass := m.Victim(1, noAccess)
+		if bypass || v < 0 || v >= 16 {
+			t.Fatalf("victim %d out of range", v)
+		}
+	}
+}
+
+func TestMDPPProtectionOrdering(t *testing.T) {
+	// A block placed at a more protected position should survive at least
+	// as long as one placed less protected, measured by evictions under
+	// adversarial touches.
+	survival := func(pos int) int {
+		m := NewMDPP(1, 16)
+		m.PlaceAt(0, 5, pos)
+		count := 0
+		for i := 0; ; i++ {
+			v, _ := m.Victim(0, noAccess)
+			if v == 5 || count > 100 {
+				return count
+			}
+			m.Fill(0, v, noAccess) // adversary fills the victim frame
+			count++
+		}
+	}
+	if survival(0) < survival(15) {
+		t.Fatalf("position 0 (%d evictions) less protected than 15 (%d)", survival(0), survival(15))
+	}
+}
+
+func TestBIPInsertsMostlyAtLRU(t *testing.T) {
+	b := NewBIP(1, 8, 1)
+	lruCount := 0
+	for i := 0; i < 1000; i++ {
+		b.Fill(0, 3, noAccess)
+		if b.lru.Rank(0, 3) == 7 {
+			lruCount++
+		}
+	}
+	if lruCount < 900 {
+		t.Fatalf("only %d/1000 fills at LRU position", lruCount)
+	}
+	if lruCount == 1000 {
+		t.Fatal("no MRU insertions at all (epsilon path dead)")
+	}
+}
+
+func TestDIPDuelsAndFollows(t *testing.T) {
+	d := NewDIP(1024, 8, 1)
+	// Leaders must exist alongside followers.
+	kinds := map[int]int{}
+	for set := 0; set < 1024; set++ {
+		kinds[d.leaderKind(set)]++
+	}
+	if kinds[0] == 0 || kinds[1] == 0 || kinds[2] == 0 {
+		t.Fatalf("leader/follower split broken: %v", kinds)
+	}
+	// LRU leader misses push PSEL toward BIP.
+	before := d.psel
+	d.Fill(0, 0, noAccess) // set 0: LRU leader
+	if d.psel >= before {
+		t.Fatal("LRU-leader fill did not vote against LRU")
+	}
+	before = d.psel
+	d.Fill(d.stride/2, 0, noAccess) // BIP leader
+	if d.psel <= before {
+		t.Fatal("BIP-leader fill did not vote against BIP")
+	}
+	// Follower obeys PSEL: with strongly positive PSEL, inserts at MRU.
+	d.psel = d.pselMax
+	follower := 1
+	for d.leaderKind(follower) != 2 {
+		follower++
+	}
+	d.Fill(follower, 2, noAccess)
+	if d.lru.Rank(follower, 2) != 0 {
+		t.Fatal("follower ignored LRU-winning PSEL")
+	}
+}
+
+func TestBIPBeatsLRUOnThrash(t *testing.T) {
+	// Cyclic access over ways+1 blocks per set: LRU thrashes, bimodal
+	// insertion keeps most of the set resident.
+	countMisses := func(pol cache.ReplacementPolicy) int {
+		misses := 0
+		present := map[uint64]int{} // block -> way
+		frames := map[int]uint64{}  // way -> block
+		for round := 0; round < 400; round++ {
+			for b := uint64(0); b < 9; b++ {
+				if w, ok := present[b]; ok {
+					pol.Hit(0, w, noAccess)
+					continue
+				}
+				misses++
+				w := len(frames)
+				if w >= 8 {
+					var bypass bool
+					w, bypass = pol.Victim(0, noAccess)
+					if bypass {
+						continue
+					}
+					delete(present, frames[w])
+				}
+				frames[w] = b
+				present[b] = w
+				pol.Fill(0, w, noAccess)
+			}
+		}
+		return misses
+	}
+	lruMisses := countMisses(NewLRU(1, 8))
+	bipMisses := countMisses(NewBIP(1, 8, 7))
+	if bipMisses >= lruMisses {
+		t.Fatalf("BIP misses %d >= LRU %d on cyclic thrash", bipMisses, lruMisses)
+	}
+}
+
+func TestDynMDPPLeadersAndDuel(t *testing.T) {
+	d := NewDynMDPP(2048, 16)
+	counts := map[int]int{}
+	for s := 0; s < 2048; s++ {
+		counts[d.leader(s)]++
+	}
+	for c := 0; c < 4; c++ {
+		if counts[c] == 0 {
+			t.Fatalf("candidate %d has no leader sets: %v", c, counts)
+		}
+	}
+	if counts[-1] == 0 {
+		t.Fatal("no follower sets")
+	}
+	// Misses in candidate 0's leaders make another candidate best.
+	for i := 0; i < 100; i++ {
+		d.Fill(0, i%16, noAccess) // set 0 leads candidate 0
+	}
+	if d.best() == 0 {
+		t.Fatal("candidate 0 still best despite leader misses")
+	}
+}
+
+func TestDynMDPPDecay(t *testing.T) {
+	d := NewDynMDPP(64, 16)
+	d.misses[2] = 1000
+	d.decayPeriod = 4
+	for i := 0; i < 4; i++ {
+		follower := 0
+		for d.leader(follower) != -1 {
+			follower++
+		}
+		d.Fill(follower, 0, noAccess)
+	}
+	if d.misses[2] >= 1000 {
+		t.Fatalf("miss counters did not decay: %d", d.misses[2])
+	}
+}
+
+func TestDynMDPPVictimInRange(t *testing.T) {
+	d := NewDynMDPP(16, 16)
+	for i := 0; i < 500; i++ {
+		d.Fill(i%16, i%16, noAccess)
+		if i%3 == 0 {
+			d.Hit(i%16, (i*7)%16, noAccess)
+		}
+		v, bypass := d.Victim(i%16, noAccess)
+		if bypass || v < 0 || v >= 16 {
+			t.Fatalf("victim %d", v)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package policy
+
+import (
+	"mpppb/internal/cache"
+	"mpppb/internal/xrand"
+)
+
+// Random evicts a uniformly random block. It exists as a sanity baseline
+// for tests and examples.
+type Random struct {
+	ways int
+	rng  *xrand.RNG
+}
+
+// NewRandom constructs random replacement with a deterministic seed.
+func NewRandom(ways int, seed uint64) *Random {
+	return &Random{ways: ways, rng: xrand.New(seed)}
+}
+
+// Name implements cache.ReplacementPolicy.
+func (r *Random) Name() string { return "random" }
+
+// Hit implements cache.ReplacementPolicy.
+func (r *Random) Hit(int, int, cache.Access) {}
+
+// Victim implements cache.ReplacementPolicy.
+func (r *Random) Victim(int, cache.Access) (int, bool) { return r.rng.Intn(r.ways), false }
+
+// Fill implements cache.ReplacementPolicy.
+func (r *Random) Fill(int, int, cache.Access) {}
+
+// Evict implements cache.ReplacementPolicy.
+func (r *Random) Evict(int, int, uint64) {}
+
+var _ cache.ReplacementPolicy = (*Random)(nil)

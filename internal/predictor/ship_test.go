@@ -1,0 +1,81 @@
+package predictor
+
+import (
+	"testing"
+
+	"mpppb/internal/cache"
+	"mpppb/internal/policy"
+)
+
+func TestSHiPLearnsDeadSignature(t *testing.T) {
+	s := NewSHiP(64, 16)
+	c := cache.New("llc", 64, 16, s)
+	stream(c, 0xdead, 60000, 0)
+	if s.ctr[shipSig(0xdead)] != 0 {
+		t.Fatalf("streaming signature counter = %d, want 0", s.ctr[shipSig(0xdead)])
+	}
+}
+
+func TestSHiPKeepsReusedSignature(t *testing.T) {
+	s := NewSHiP(64, 16)
+	c := cache.New("llc", 64, 16, s)
+	loop(c, 0xbeef, 256, 200)
+	if s.ctr[shipSig(0xbeef)] == 0 {
+		t.Fatal("hot-loop signature trained dead")
+	}
+	hitRate := float64(c.Stats.DemandHits) / float64(c.Stats.DemandAccesses)
+	if hitRate < 0.9 {
+		t.Fatalf("hot loop hit rate %.3f under SHiP", hitRate)
+	}
+}
+
+func TestSHiPDeadSignatureInsertsDistant(t *testing.T) {
+	s := NewSHiP(4, 4)
+	// Manually zero a signature's counter, then fill and check RRPV.
+	sig := shipSig(0x1234)
+	s.ctr[sig] = 0
+	a := cache.Access{PC: 0x1234, Addr: 0}
+	s.Fill(0, 1, a)
+	if got := s.rrip.RRPV(0, 1); got != policy.RRPVMax {
+		t.Fatalf("dead-signature insert RRPV = %d, want %d", got, policy.RRPVMax)
+	}
+	s.ctr[sig] = 2
+	s.Fill(0, 2, a)
+	if got := s.rrip.RRPV(0, 2); got != policy.RRPVLong {
+		t.Fatalf("live-signature insert RRPV = %d, want %d", got, policy.RRPVLong)
+	}
+}
+
+func TestSHiPOutcomeBitTrainsOncePerResidency(t *testing.T) {
+	s := NewSHiP(4, 4)
+	a := cache.Access{PC: 0x1234, Addr: 0}
+	sig := shipSig(0x1234)
+	s.ctr[sig] = 1
+	s.Fill(0, 0, a)
+	s.Hit(0, 0, a)
+	s.Hit(0, 0, a)
+	s.Hit(0, 0, a)
+	if s.ctr[sig] != 2 {
+		t.Fatalf("counter = %d after repeated hits, want exactly one increment", s.ctr[sig])
+	}
+}
+
+func TestSHiPEvictWithoutReuseDecrements(t *testing.T) {
+	s := NewSHiP(4, 4)
+	a := cache.Access{PC: 0x1234, Addr: 0}
+	sig := shipSig(0x1234)
+	s.ctr[sig] = 2
+	s.Fill(0, 0, a)
+	s.Evict(0, 0, 0)
+	if s.ctr[sig] != 1 {
+		t.Fatalf("counter = %d after dead eviction, want 1", s.ctr[sig])
+	}
+	// With a reuse in between, eviction does not decrement.
+	s.Fill(0, 0, a)
+	s.Hit(0, 0, a)
+	before := s.ctr[sig]
+	s.Evict(0, 0, 0)
+	if s.ctr[sig] != before {
+		t.Fatal("reused block's eviction still decremented")
+	}
+}

@@ -1,0 +1,158 @@
+// Package prefetch implements the stream prefetcher from the paper's
+// methodology (Section 4.1): it starts a stream on an L1 cache miss, waits
+// for at most two misses to decide the stream's direction, then generates
+// prefetch requests ahead of the stream. It tracks 16 separate streams with
+// LRU replacement.
+package prefetch
+
+import "mpppb/internal/trace"
+
+// Defaults for the paper's configuration.
+const (
+	// DefaultStreams is the number of concurrently tracked streams.
+	DefaultStreams = 16
+	// DefaultDistance is how many blocks ahead of the stream head
+	// prefetches are issued. Streams advance quickly relative to DRAM
+	// latency, so the prefetcher runs well ahead.
+	DefaultDistance = 8
+	// DefaultDegree is how many prefetches are issued per triggering miss
+	// once a stream is confirmed.
+	DefaultDegree = 2
+	// windowBlocks is how close (in blocks) a miss must land to an
+	// existing stream head to be considered part of that stream.
+	windowBlocks = 16
+)
+
+type stream struct {
+	valid     bool
+	headBlock uint64 // last miss block observed for this stream
+	firstSeen uint64 // block that allocated the stream
+	dir       int    // +1 ascending, -1 descending, 0 undecided
+	confirmed bool
+	lruClock  uint64
+}
+
+// Stream is the stream prefetcher. It implements cache.Prefetcher
+// structurally (the hierarchy depends on the interface, not this type).
+type Stream struct {
+	streams  []stream
+	clock    uint64
+	distance uint64
+	degree   int
+	out      []uint64 // reused result buffer
+}
+
+// NewStream constructs a stream prefetcher with the paper's defaults.
+func NewStream() *Stream {
+	return NewStreamWith(DefaultStreams, DefaultDistance, DefaultDegree)
+}
+
+// NewStreamWith constructs a stream prefetcher with explicit table size,
+// prefetch distance, and degree.
+func NewStreamWith(nStreams, distance, degree int) *Stream {
+	return &Stream{
+		streams:  make([]stream, nStreams),
+		distance: uint64(distance),
+		degree:   degree,
+		out:      make([]uint64, 0, degree),
+	}
+}
+
+// OnL1Miss observes a demand L1 miss and returns byte addresses of blocks
+// to prefetch. The returned slice is reused across calls.
+func (p *Stream) OnL1Miss(_, addr uint64) []uint64 {
+	p.clock++
+	block := addr >> trace.BlockBits
+	p.out = p.out[:0]
+
+	// Find a stream this miss extends.
+	best := -1
+	for i := range p.streams {
+		s := &p.streams[i]
+		if !s.valid {
+			continue
+		}
+		if diff(block, s.headBlock) <= windowBlocks {
+			best = i
+			break
+		}
+	}
+
+	if best < 0 {
+		// Allocate a new stream in the LRU slot.
+		victim := 0
+		for i := range p.streams {
+			if !p.streams[i].valid {
+				victim = i
+				break
+			}
+			if p.streams[i].lruClock < p.streams[victim].lruClock {
+				victim = i
+			}
+		}
+		p.streams[victim] = stream{
+			valid:     true,
+			headBlock: block,
+			firstSeen: block,
+			lruClock:  p.clock,
+		}
+		return p.out
+	}
+
+	s := &p.streams[best]
+	s.lruClock = p.clock
+	if block == s.headBlock {
+		return p.out // same block; nothing to learn
+	}
+
+	if !s.confirmed {
+		// Second miss decides the direction (the paper's prefetcher
+		// "waits for at most two misses to decide on the direction").
+		if block > s.headBlock {
+			s.dir = 1
+		} else {
+			s.dir = -1
+		}
+		s.confirmed = true
+		s.headBlock = block
+		return p.emit(s)
+	}
+
+	// Established stream: advance the head if the miss continues in the
+	// stream direction; a miss against the direction re-trains it.
+	moved := (s.dir > 0 && block > s.headBlock) || (s.dir < 0 && block < s.headBlock)
+	if moved {
+		s.headBlock = block
+		return p.emit(s)
+	}
+	// Direction violated: restart direction training from this block.
+	s.confirmed = false
+	s.dir = 0
+	s.headBlock = block
+	return p.out
+}
+
+// emit produces the prefetch addresses for a confirmed stream.
+func (p *Stream) emit(s *stream) []uint64 {
+	for i := 1; i <= p.degree; i++ {
+		var target uint64
+		if s.dir > 0 {
+			target = s.headBlock + p.distance + uint64(i) - 1
+		} else {
+			d := p.distance + uint64(i) - 1
+			if s.headBlock < d {
+				continue
+			}
+			target = s.headBlock - d
+		}
+		p.out = append(p.out, target<<trace.BlockBits)
+	}
+	return p.out
+}
+
+func diff(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

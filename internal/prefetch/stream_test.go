@@ -1,0 +1,134 @@
+package prefetch
+
+import (
+	"testing"
+
+	"mpppb/internal/trace"
+)
+
+func blockOf(addr uint64) uint64 { return addr >> trace.BlockBits }
+
+func TestFirstMissAllocatesNoPrefetch(t *testing.T) {
+	p := NewStream()
+	if got := p.OnL1Miss(0x400, 0x10000); len(got) != 0 {
+		t.Fatalf("first miss emitted %d prefetches", len(got))
+	}
+}
+
+func TestAscendingStreamConfirmedOnSecondMiss(t *testing.T) {
+	p := NewStream()
+	p.OnL1Miss(0x400, 0x10000)
+	got := p.OnL1Miss(0x400, 0x10040) // next block up
+	if len(got) != DefaultDegree {
+		t.Fatalf("confirmed stream emitted %d prefetches, want %d", len(got), DefaultDegree)
+	}
+	head := blockOf(0x10040)
+	for i, a := range got {
+		want := head + DefaultDistance + uint64(i)
+		if blockOf(a) != want {
+			t.Fatalf("prefetch %d = block %d, want %d", i, blockOf(a), want)
+		}
+	}
+}
+
+func TestDescendingStream(t *testing.T) {
+	p := NewStream()
+	p.OnL1Miss(0x400, 0x20000)
+	got := p.OnL1Miss(0x400, 0x20000-trace.BlockSize)
+	if len(got) == 0 {
+		t.Fatal("descending stream not confirmed")
+	}
+	head := blockOf(0x20000) - 1
+	if blockOf(got[0]) != head-DefaultDistance {
+		t.Fatalf("descending prefetch block %d, want %d", blockOf(got[0]), head-DefaultDistance)
+	}
+}
+
+func TestDescendingStreamNearZeroDoesNotUnderflow(t *testing.T) {
+	p := NewStream()
+	p.OnL1Miss(0x400, 2*trace.BlockSize)
+	got := p.OnL1Miss(0x400, 1*trace.BlockSize)
+	// distance 4 below block 1 would underflow: must be suppressed.
+	for _, a := range got {
+		if blockOf(a) > blockOf(1*trace.BlockSize) {
+			t.Fatalf("underflowed prefetch to block %d", blockOf(a))
+		}
+	}
+}
+
+func TestSameBlockMissDoesNotAdvance(t *testing.T) {
+	p := NewStream()
+	p.OnL1Miss(0x400, 0x10000)
+	if got := p.OnL1Miss(0x400, 0x10008); len(got) != 0 {
+		t.Fatalf("same-block miss advanced the stream: %d prefetches", len(got))
+	}
+}
+
+func TestDirectionViolationRetrains(t *testing.T) {
+	p := NewStream()
+	p.OnL1Miss(0x400, 0x10000)
+	p.OnL1Miss(0x400, 0x10040) // ascending confirmed
+	// Jump backwards within the window: direction violated, no prefetch.
+	if got := p.OnL1Miss(0x400, 0x10000); len(got) != 0 {
+		t.Fatalf("violated stream still prefetched %d", len(got))
+	}
+	// It re-trains: next ascending miss re-confirms.
+	if got := p.OnL1Miss(0x400, 0x10040); len(got) == 0 {
+		t.Fatal("stream did not re-train after violation")
+	}
+}
+
+func TestIndependentStreams(t *testing.T) {
+	p := NewStream()
+	// Interleave two far-apart streams; both should confirm.
+	p.OnL1Miss(1, 0x100000)
+	p.OnL1Miss(2, 0x900000)
+	a := p.OnL1Miss(1, 0x100040)
+	if len(a) == 0 {
+		t.Fatal("stream A not confirmed")
+	}
+	b := p.OnL1Miss(2, 0x900040)
+	if len(b) == 0 {
+		t.Fatal("stream B not confirmed")
+	}
+}
+
+func TestStreamTableLRUReplacement(t *testing.T) {
+	p := NewStreamWith(2, 4, 1)
+	p.OnL1Miss(1, 0x100000) // stream 1
+	p.OnL1Miss(2, 0x200000) // stream 2
+	p.OnL1Miss(3, 0x300000) // evicts stream 1 (LRU)
+	// Stream 2 is still tracked (stream 1 was the LRU victim).
+	if got := p.OnL1Miss(2, 0x200040); len(got) == 0 {
+		t.Fatal("stream 2 lost despite LRU")
+	}
+	// Stream 1's continuation allocates fresh (no confirmation, no output),
+	// proving it was the one evicted.
+	if got := p.OnL1Miss(1, 0x100040); len(got) != 0 {
+		t.Fatalf("evicted stream still confirmed: %d prefetches", len(got))
+	}
+}
+
+func TestEstablishedStreamKeepsPrefetching(t *testing.T) {
+	p := NewStream()
+	addr := uint64(0x40000)
+	p.OnL1Miss(7, addr)
+	total := 0
+	for i := 1; i <= 10; i++ {
+		got := p.OnL1Miss(7, addr+uint64(i)*trace.BlockSize)
+		total += len(got)
+	}
+	if total != 10*DefaultDegree {
+		t.Fatalf("established stream emitted %d prefetches, want %d", total, 10*DefaultDegree)
+	}
+}
+
+func TestWindowMatching(t *testing.T) {
+	p := NewStream()
+	p.OnL1Miss(9, 0x50000)
+	// A miss just outside the window allocates a new stream.
+	far := uint64(0x50000) + (windowBlocks+5)*trace.BlockSize
+	if got := p.OnL1Miss(9, far); len(got) != 0 {
+		t.Fatalf("out-of-window miss treated as stream continuation")
+	}
+}

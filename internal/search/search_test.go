@@ -1,0 +1,220 @@
+package search
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mpppb/internal/core"
+	"mpppb/internal/sim"
+	"mpppb/internal/workload"
+	"mpppb/internal/xrand"
+)
+
+// trainingSegs picks n segments spread across the suite (mirrors the
+// experiments package helper without importing it, which would cycle).
+func trainingSegs(n int) []workload.SegmentID {
+	all := workload.Segments()
+	stride := len(all) / n
+	out := make([]workload.SegmentID, 0, n)
+	for i := 0; i < len(all) && len(out) < n; i += stride {
+		out = append(out, all[i])
+	}
+	return out
+}
+
+func TestRandomFeatureAlwaysValid(t *testing.T) {
+	rng := xrand.New(1)
+	for i := 0; i < 5000; i++ {
+		f := RandomFeature(rng)
+		if err := f.Validate(); err != nil {
+			t.Fatalf("random feature invalid: %v", err)
+		}
+	}
+}
+
+func TestRandomFeatureCoversAllKinds(t *testing.T) {
+	rng := xrand.New(2)
+	seen := map[core.Kind]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[RandomFeature(rng).Kind] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("random features covered %d of 7 kinds", len(seen))
+	}
+}
+
+func TestRandomSetSize(t *testing.T) {
+	rng := xrand.New(3)
+	set := RandomSet(rng, 16)
+	if len(set) != 16 {
+		t.Fatalf("set size %d", len(set))
+	}
+}
+
+func TestMutatePreservesValidityAndSize(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rng := xrand.New(seed)
+		set := RandomSet(rng, 8)
+		for step := 0; step < 50; step++ {
+			set = Mutate(rng, set)
+			if len(set) != 8 {
+				return false
+			}
+			for _, f := range set {
+				if f.Validate() != nil {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutateChangesAtMostOneFeature(t *testing.T) {
+	rng := xrand.New(9)
+	set := RandomSet(rng, 16)
+	for i := 0; i < 100; i++ {
+		next := Mutate(rng, set)
+		changed := 0
+		for j := range set {
+			if set[j] != next[j] {
+				changed++
+			}
+		}
+		if changed > 1 {
+			t.Fatalf("mutation changed %d features", changed)
+		}
+		set = next
+	}
+}
+
+func TestMutateDoesNotAliasInput(t *testing.T) {
+	rng := xrand.New(10)
+	set := RandomSet(rng, 4)
+	orig := append([]core.Feature(nil), set...)
+	for i := 0; i < 200; i++ {
+		Mutate(rng, set)
+	}
+	for j := range set {
+		if set[j] != orig[j] {
+			t.Fatal("Mutate modified its input")
+		}
+	}
+}
+
+// tinyEvaluator builds an evaluator over two short segments.
+func tinyEvaluator() *Evaluator {
+	cfg := sim.SingleThreadConfig()
+	cfg.Warmup = 30_000
+	cfg.Measure = 120_000
+	return NewEvaluator(cfg, trainingSegs(2))
+}
+
+func TestEvaluatorDeterministic(t *testing.T) {
+	ev := tinyEvaluator()
+	set := core.SingleThreadSetB()
+	a := ev.MPKI(set)
+	b := ev.MPKI(set)
+	if a != b {
+		t.Fatalf("evaluator not deterministic: %g vs %g", a, b)
+	}
+	if a <= 0 {
+		t.Fatalf("MPKI %g", a)
+	}
+}
+
+func TestRandomSearchSortsBestFirst(t *testing.T) {
+	ev := tinyEvaluator()
+	rng := xrand.New(4)
+	scored, err := RandomSearch(ev, rng, 5, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(scored); i++ {
+		if scored[i].MPKI < scored[i-1].MPKI {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+	if ev.Evals != 5*len(ev.Training) {
+		t.Fatalf("evals = %d", ev.Evals)
+	}
+}
+
+func TestRandomSearchRejectsBadArgs(t *testing.T) {
+	ev := tinyEvaluator()
+	if _, err := RandomSearch(ev, xrand.New(1), 0, 16, nil); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := RandomSearch(ev, xrand.New(1), 1, 0, nil); err == nil {
+		t.Fatal("setSize=0 accepted")
+	}
+}
+
+func TestHillClimbNeverWorsens(t *testing.T) {
+	ev := tinyEvaluator()
+	rng := xrand.New(5)
+	start := ScoredSet{Features: RandomSet(rng, 4)}
+	start.MPKI = ev.MPKI(start.Features)
+	best := HillClimb(ev, rng, start, 10, 5, nil)
+	if best.MPKI > start.MPKI {
+		t.Fatalf("hill climb worsened: %.3f -> %.3f", start.MPKI, best.MPKI)
+	}
+}
+
+func TestHillClimbStopsOnPatience(t *testing.T) {
+	ev := tinyEvaluator()
+	rng := xrand.New(6)
+	start := ScoredSet{Features: core.SingleThreadSetB()}
+	start.MPKI = ev.MPKI(start.Features)
+	steps := 0
+	HillClimb(ev, rng, start, 1000, 3, func(int, float64) { steps++ })
+	if steps == 1000 {
+		t.Fatal("patience did not stop the climb")
+	}
+}
+
+func TestThresholdEvaluatorAndRandomFeasible(t *testing.T) {
+	cfg := sim.SingleThreadConfig()
+	cfg.Warmup = 30_000
+	cfg.Measure = 100_000
+	ev := &ThresholdEvaluator{Cfg: cfg, Training: trainingSegs(2)}
+	params := core.SingleThreadParams()
+	m := ev.MPKI(params)
+	if m <= 0 {
+		t.Fatalf("MPKI %g", m)
+	}
+	rng := xrand.New(7)
+	for i := 0; i < 200; i++ {
+		p := RandomFeasible(rng, params)
+		if !(p.Tau0 > p.Tau1 && p.Tau1 > p.Tau2 && p.Tau2 > p.Tau3) {
+			t.Fatalf("thresholds not descending: %d %d %d %d", p.Tau0, p.Tau1, p.Tau2, p.Tau3)
+		}
+		maxPos := 15
+		if p.Default == core.DefaultSRRIP {
+			maxPos = 3
+		}
+		for j, pi := range p.Pi {
+			if pi < 0 || pi > maxPos {
+				t.Fatalf("pi[%d] = %d out of range", j, pi)
+			}
+		}
+		if !(p.Pi[0] >= p.Pi[1] && p.Pi[1] >= p.Pi[2]) {
+			t.Fatalf("positions not ordered: %v", p.Pi)
+		}
+	}
+}
+
+func TestSearchTau0FindsNoWorse(t *testing.T) {
+	cfg := sim.SingleThreadConfig()
+	cfg.Warmup = 30_000
+	cfg.Measure = 100_000
+	ev := &ThresholdEvaluator{Cfg: cfg, Training: trainingSegs(2)}
+	params := core.SingleThreadParams()
+	base := ev.MPKI(params)
+	_, best := ev.SearchTau0(params, 0, 255, 64, nil)
+	if best > base {
+		t.Fatalf("tau0 sweep worsened MPKI: %.3f -> %.3f", base, best)
+	}
+}

@@ -1,0 +1,26 @@
+package sim
+
+import (
+	"mpppb/internal/belady"
+	"mpppb/internal/cache"
+	"mpppb/internal/policy"
+	"mpppb/internal/trace"
+)
+
+// RunSingleMIN runs Bélády's MIN with optimal bypass on a segment. It is a
+// two-pass simulation: pass one records the LLC reference stream under LRU
+// (which also yields the LRU result for free), pass two replays the
+// workload with the optimal policy. See package belady for why the stream
+// is identical across passes.
+func RunSingleMIN(cfg Config, gen trace.Generator) (lru, min Result) {
+	var rec *belady.Recorder
+	lru = RunSingle(cfg, gen, func(sets, ways int) cache.ReplacementPolicy {
+		rec = belady.NewRecorder(policy.NewLRU(sets, ways))
+		return rec
+	})
+	min = RunSingle(cfg, gen, func(sets, ways int) cache.ReplacementPolicy {
+		return belady.NewMIN(sets, ways, rec.Stream())
+	})
+	min.Segment = gen.Name()
+	return lru, min
+}

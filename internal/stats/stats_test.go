@@ -1,0 +1,184 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMPKI(t *testing.T) {
+	if got := MPKI(5, 1000); !almost(got, 5) {
+		t.Fatalf("MPKI(5,1000) = %g", got)
+	}
+	if got := MPKI(1, 2000); !almost(got, 0.5) {
+		t.Fatalf("MPKI(1,2000) = %g", got)
+	}
+	if got := MPKI(10, 0); got != 0 {
+		t.Fatalf("MPKI with zero instructions = %g, want 0", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); !almost(got, 4) {
+		t.Fatalf("GeoMean(2,8) = %g, want 4", got)
+	}
+	if got := GeoMean([]float64{3}); !almost(got, 3) {
+		t.Fatalf("GeoMean(3) = %g", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Fatalf("GeoMean(nil) = %g, want 0", got)
+	}
+}
+
+func TestGeoMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GeoMean with 0 did not panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestGeoMeanAtMostMean(t *testing.T) {
+	// AM-GM inequality as a property test.
+	if err := quick.Check(func(a, b, c uint16) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		return GeoMean(xs) <= Mean(xs)+1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanAndWeightedMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); !almost(got, 2) {
+		t.Fatalf("Mean = %g", got)
+	}
+	if got := WeightedMean([]float64{1, 3}, []float64{1, 1}); !almost(got, 2) {
+		t.Fatalf("WeightedMean equal weights = %g", got)
+	}
+	if got := WeightedMean([]float64{1, 3}, []float64{3, 1}); !almost(got, 1.5) {
+		t.Fatalf("WeightedMean skewed = %g", got)
+	}
+	if got := WeightedMean(nil, nil); got != 0 {
+		t.Fatalf("WeightedMean(nil) = %g", got)
+	}
+}
+
+func TestWeightedMeanMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	WeightedMean([]float64{1}, []float64{1, 2})
+}
+
+func TestSorted(t *testing.T) {
+	in := []float64{3, 1, 2}
+	got := Sorted(in)
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("Sorted = %v", got)
+	}
+	if in[0] != 3 {
+		t.Fatal("Sorted mutated its input")
+	}
+	desc := SortedDesc(in)
+	if desc[0] != 3 || desc[2] != 1 {
+		t.Fatalf("SortedDesc = %v", desc)
+	}
+}
+
+func TestWeightedSpeedup(t *testing.T) {
+	// Two threads at full standalone speed: weighted speedup 2.
+	if got := WeightedSpeedup([]float64{1, 2}, []float64{1, 2}); !almost(got, 2) {
+		t.Fatalf("WeightedSpeedup = %g, want 2", got)
+	}
+	if got := WeightedSpeedup([]float64{0.5, 1}, []float64{1, 2}); !almost(got, 1) {
+		t.Fatalf("WeightedSpeedup = %g, want 1", got)
+	}
+}
+
+func TestROCPerfectPredictor(t *testing.T) {
+	var samples []ROCSample
+	for i := 0; i < 100; i++ {
+		samples = append(samples, ROCSample{Confidence: 10, Dead: true})
+		samples = append(samples, ROCSample{Confidence: -10, Dead: false})
+	}
+	curve := ROC(samples)
+	if len(curve) != 2 {
+		t.Fatalf("curve has %d points, want 2", len(curve))
+	}
+	// Highest threshold first: all dead found, no false positives.
+	if !almost(curve[0].TPR, 1) || !almost(curve[0].FPR, 0) {
+		t.Fatalf("first point (%.2f,%.2f), want (0,1)", curve[0].FPR, curve[0].TPR)
+	}
+	if auc := AUC(curve); !almost(auc, 1) {
+		t.Fatalf("perfect AUC = %g", auc)
+	}
+}
+
+func TestROCRandomPredictorAUCHalf(t *testing.T) {
+	var samples []ROCSample
+	// Confidence independent of outcome.
+	for i := 0; i < 1000; i++ {
+		samples = append(samples, ROCSample{Confidence: i % 7, Dead: i%2 == 0})
+	}
+	auc := AUC(ROC(samples))
+	if auc < 0.45 || auc > 0.55 {
+		t.Fatalf("random AUC = %g, want ~0.5", auc)
+	}
+}
+
+func TestROCMonotone(t *testing.T) {
+	if err := quick.Check(func(seeds []uint8) bool {
+		if len(seeds) < 4 {
+			return true
+		}
+		var samples []ROCSample
+		for i, s := range seeds {
+			samples = append(samples, ROCSample{Confidence: int(s % 17), Dead: i%3 != 0})
+		}
+		curve := ROC(samples)
+		prevF, prevT := -1.0, -1.0
+		for _, p := range curve {
+			if p.FPR < prevF || p.TPR < prevT {
+				return false
+			}
+			prevF, prevT = p.FPR, p.TPR
+		}
+		// Curve must end at (1,1): every sample classified dead at the
+		// lowest threshold.
+		last := curve[len(curve)-1]
+		return almost(last.FPR, 1) && almost(last.TPR, 1)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestROCEmpty(t *testing.T) {
+	if got := ROC(nil); got != nil {
+		t.Fatalf("ROC(nil) = %v", got)
+	}
+	if got := AUC(nil); got != 0 {
+		t.Fatalf("AUC(nil) = %g", got)
+	}
+}
+
+func TestTPRAtFPRInterpolation(t *testing.T) {
+	curve := []ROCPoint{
+		{Threshold: 10, FPR: 0.0, TPR: 0.2},
+		{Threshold: 5, FPR: 0.5, TPR: 0.8},
+		{Threshold: 0, FPR: 1.0, TPR: 1.0},
+	}
+	if got := TPRAtFPR(curve, 0.25); !almost(got, 0.5) {
+		t.Fatalf("TPRAtFPR(0.25) = %g, want 0.5", got)
+	}
+	if got := TPRAtFPR(curve, 0.75); !almost(got, 0.9) {
+		t.Fatalf("TPRAtFPR(0.75) = %g, want 0.9", got)
+	}
+	if got := TPRAtFPR(nil, 0.3); got != 0 {
+		t.Fatalf("TPRAtFPR(nil) = %g", got)
+	}
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CSV trace ingestion: the interchange path for externally collected
+// program traces. One record per line:
+//
+//	pc,addr,kind[,nonmem]
+//
+// where pc and addr accept decimal or 0x-prefixed hex, kind is R/W (or
+// L/S, or 0/1), and nonmem (optional, default 0) is the number of
+// non-memory instructions preceding the access. Blank lines and lines
+// starting with '#' are ignored. Convert to the compact binary format with
+// cmd/mpppb-trace for repeated use.
+
+// ParseCSV reads a whole CSV trace.
+func ParseCSV(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var out []Record
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rec, err := parseCSVLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading CSV: %w", err)
+	}
+	return out, nil
+}
+
+func parseCSVLine(line string) (Record, error) {
+	fields := strings.Split(line, ",")
+	if len(fields) < 3 || len(fields) > 4 {
+		return Record{}, fmt.Errorf("want pc,addr,kind[,nonmem], got %d fields", len(fields))
+	}
+	pc, err := parseUint(fields[0])
+	if err != nil {
+		return Record{}, fmt.Errorf("bad pc %q: %v", fields[0], err)
+	}
+	addr, err := parseUint(fields[1])
+	if err != nil {
+		return Record{}, fmt.Errorf("bad addr %q: %v", fields[1], err)
+	}
+	var isWrite bool
+	switch strings.ToUpper(strings.TrimSpace(fields[2])) {
+	case "R", "L", "0", "LOAD", "READ":
+		isWrite = false
+	case "W", "S", "1", "STORE", "WRITE":
+		isWrite = true
+	default:
+		return Record{}, fmt.Errorf("bad kind %q (want R/W, L/S, or 0/1)", fields[2])
+	}
+	var nonMem uint64
+	if len(fields) == 4 {
+		nonMem, err = parseUint(fields[3])
+		if err != nil || nonMem > 65535 {
+			return Record{}, fmt.Errorf("bad nonmem %q", fields[3])
+		}
+	}
+	return Record{PC: pc, Addr: addr, IsWrite: isWrite, NonMem: uint16(nonMem)}, nil
+}
+
+func parseUint(s string) (uint64, error) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		return strconv.ParseUint(s[2:], 16, 64)
+	}
+	return strconv.ParseUint(s, 10, 64)
+}
+
+// WriteCSV renders records in the CSV interchange format.
+func WriteCSV(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# pc,addr,kind,nonmem"); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		kind := "R"
+		if r.IsWrite {
+			kind = "W"
+		}
+		if _, err := fmt.Fprintf(bw, "0x%x,0x%x,%s,%d\n", r.PC, r.Addr, kind, r.NonMem); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

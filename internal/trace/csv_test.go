@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseCSVBasics(t *testing.T) {
+	in := `# comment
+0x400000,0x10000,R,3
+
+0x400004,65600,W
+1024,0x20000,load,0
+0x400008,0x30000,S,65535
+`
+	recs, err := ParseCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{
+		{PC: 0x400000, Addr: 0x10000, IsWrite: false, NonMem: 3},
+		{PC: 0x400004, Addr: 65600, IsWrite: true, NonMem: 0},
+		{PC: 1024, Addr: 0x20000, IsWrite: false, NonMem: 0},
+		{PC: 0x400008, Addr: 0x30000, IsWrite: true, NonMem: 65535},
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("parsed %d records, want %d", len(recs), len(want))
+	}
+	for i := range want {
+		if recs[i] != want[i] {
+			t.Errorf("record %d = %+v, want %+v", i, recs[i], want[i])
+		}
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	bad := []string{
+		"0x400000,0x10000",          // too few fields
+		"0x400000,0x10000,R,1,2",    // too many
+		"zz,0x10000,R",              // bad pc
+		"0x400000,zz,R",             // bad addr
+		"0x400000,0x10000,Q",        // bad kind
+		"0x400000,0x10000,R,999999", // nonmem out of range
+	}
+	for _, line := range bad {
+		if _, err := ParseCSV(strings.NewReader(line)); err == nil {
+			t.Errorf("ParseCSV(%q) succeeded", line)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	recs := []Record{
+		{PC: 0x400000, Addr: 0x10000, NonMem: 2},
+		{PC: 0x400004, Addr: 0x10040, IsWrite: true, NonMem: 0},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("round trip %d of %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+}

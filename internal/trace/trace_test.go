@@ -1,0 +1,49 @@
+package trace
+
+import "testing"
+
+func TestAccessTypeStrings(t *testing.T) {
+	cases := map[AccessType]string{
+		Load:           "load",
+		Store:          "store",
+		Prefetch:       "prefetch",
+		Writeback:      "writeback",
+		AccessType(99): "unknown",
+	}
+	for typ, want := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", typ, got, want)
+		}
+	}
+}
+
+func TestBlockGeometry(t *testing.T) {
+	if BlockSize != 64 {
+		t.Fatalf("BlockSize = %d, want 64 (paper's methodology)", BlockSize)
+	}
+	if 1<<BlockBits != BlockSize {
+		t.Fatal("BlockBits inconsistent with BlockSize")
+	}
+}
+
+func TestRecordHelpers(t *testing.T) {
+	r := Record{PC: 0x400, Addr: 0x12345, NonMem: 3}
+	if r.Instructions() != 4 {
+		t.Fatalf("Instructions = %d, want 4", r.Instructions())
+	}
+	if r.Block() != 0x12345>>BlockBits {
+		t.Fatalf("Block = %#x", r.Block())
+	}
+	zero := Record{}
+	if zero.Instructions() != 1 {
+		t.Fatal("a bare memory instruction counts as 1")
+	}
+}
+
+func TestPrefetchPCIsDistinctive(t *testing.T) {
+	// The fake PC must not collide with plausible code addresses (low
+	// canonical user-space range).
+	if PrefetchPC < 1<<48 {
+		t.Fatalf("PrefetchPC %#x could alias a real PC", PrefetchPC)
+	}
+}

@@ -1,0 +1,317 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mpppb/internal/trace"
+	"mpppb/internal/xrand"
+)
+
+// KB/MB helpers for footprint arithmetic in block units.
+const (
+	blocksPerMB = (1 << 20) / trace.BlockSize
+	blocksPerKB = 1024 / trace.BlockSize
+)
+
+// Benchmark names the 33 synthetic benchmarks: stand-ins for the paper's 29
+// SPEC CPU 2006 codes plus CloudSuite data_caching, graph_analytics,
+// sat_solver and mlpack-cf. The "_like" suffix is a reminder that these are
+// behavioural models, not the real programs (see DESIGN.md).
+type Benchmark struct {
+	// Name is the benchmark identifier, e.g. "mcf_like".
+	Name string
+	// Class describes the archetype, e.g. "pointer-chase".
+	Class string
+	// make builds one of the benchmark's segments.
+	make func(seg int, seed, base uint64) *Gen
+}
+
+// SegmentsPerBenchmark is the number of phases (simpoint stand-ins) per
+// benchmark; the full suite is 33*3 = 99 segments, as in the paper.
+const SegmentsPerBenchmark = 3
+
+// SegmentWeights returns the simpoint-style weights of a benchmark's
+// segments: the fraction of the whole program each phase represents. The
+// paper weights per-benchmark results by these (Section 4.2); the synthetic
+// phases use a fixed 0.5/0.3/0.2 split, the nominal-footprint phase
+// carrying the most weight.
+func SegmentWeights() [SegmentsPerBenchmark]float64 {
+	return [SegmentsPerBenchmark]float64{0.3, 0.5, 0.2}
+}
+
+// seedFor derives the deterministic seed of a segment.
+func seedFor(bench string, seg int) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range bench {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h + uint64(seg)*0x9e3779b97f4a7c15
+}
+
+// scale returns a per-segment size multiplier, modelling phase-to-phase
+// working-set variation: segments 0,1,2 run at 3/4, 1x, and 3/2 of the
+// nominal footprint.
+func scale(seg int, blocks uint64) uint64 {
+	switch seg {
+	case 0:
+		return blocks * 3 / 4
+	case 2:
+		return blocks * 3 / 2
+	default:
+		return blocks
+	}
+}
+
+// suite is the benchmark registry. Footprints are sized against the 2MB
+// (single-thread) and 8MB (4-core) LLCs: thrashing loops sit at 1.5-4x the
+// 2MB cache, streams far exceed it, hot/cold codes mostly fit.
+var suite = []Benchmark{
+	// --- pointer chasing: high MPKI, serialized misses ---
+	{"mcf_like", "pointer-chase", func(seg int, seed, base uint64) *Gen {
+		return chaseKernel("", seed, base, int(scale(seg, 512*1024)), 2, 2)
+	}},
+	{"omnetpp_like", "pointer-chase", func(seg int, seed, base uint64) *Gen {
+		return chaseKernel("", seed, base, int(scale(seg, 96*1024)), 3, 3)
+	}},
+	{"xalancbmk_like", "pointer-chase+zipf", func(seg int, seed, base uint64) *Gen {
+		return phasedKernel("", 4096,
+			chaseKernel("", seed, base, int(scale(seg, 64*1024)), 2, 2),
+			zipfObjectKernel("", seed+1, base+1<<32, 32*1024, 256, []uint64{0, 24, 96}, 0.9, 5*1024, 65, 24, 2))
+	}},
+
+	// --- streaming FP: dead-on-arrival blocks, bypass-friendly ---
+	{"lbm_like", "stream", func(seg int, seed, base uint64) *Gen {
+		return streamKernel("", seed, base, scale(seg, 32*blocksPerMB), 1, 4, 4, 2)
+	}},
+	{"bwaves_like", "stream", func(seg int, seed, base uint64) *Gen {
+		return streamKernel("", seed, base, scale(seg, 24*blocksPerMB), 1, 6, 0, 3)
+	}},
+	{"milc_like", "stream", func(seg int, seed, base uint64) *Gen {
+		return streamKernel("", seed, base, scale(seg, 16*blocksPerMB), 2, 4, 8, 2)
+	}},
+	{"leslie3d_like", "stream", func(seg int, seed, base uint64) *Gen {
+		return streamKernel("", seed, base, scale(seg, 12*blocksPerMB), 1, 3, 6, 3)
+	}},
+	{"GemsFDTD_like", "stream", func(seg int, seed, base uint64) *Gen {
+		return streamKernel("", seed, base, scale(seg, 20*blocksPerMB), 3, 4, 4, 2)
+	}},
+	{"zeusmp_like", "stream+hot", func(seg int, seed, base uint64) *Gen {
+		return phasedKernel("", 8192,
+			streamKernel("", seed, base, scale(seg, 8*blocksPerMB), 1, 4, 8, 2),
+			hotColdKernel("", seed+1, base+1<<33, 8*blocksPerMB/16, 4*blocksPerMB, 80, 2))
+	}},
+	{"wrf_like", "phased stream/gather", func(seg int, seed, base uint64) *Gen {
+		return phasedKernel("", 6144,
+			streamKernel("", seed, base, scale(seg, 6*blocksPerMB), 1, 4, 6, 3),
+			gatherKernel("", seed+1, base+1<<33, 4*blocksPerMB, scale(seg, 8*blocksPerMB), 1, 3))
+	}},
+	{"cactusADM_like", "phased stream/loop", func(seg int, seed, base uint64) *Gen {
+		return phasedKernel("", 8192,
+			streamKernel("", seed, base, scale(seg, 10*blocksPerMB), 2, 4, 6, 3),
+			loopScanKernel("", seed+1, base+1<<33, scale(seg, 3*blocksPerMB/2), 4*blocksPerKB, 3))
+	}},
+
+	// --- LLC-thrashing loops: LRU-pathological, the headline win ---
+	{"libquantum_like", "thrash-loop", func(seg int, seed, base uint64) *Gen {
+		return loopScanKernel("", seed, base, scale(seg, 3*blocksPerMB), 0, 2)
+	}},
+	{"sphinx3_like", "thrash-loop+hot", func(seg int, seed, base uint64) *Gen {
+		return loopScanKernel("", seed, base, scale(seg, 5*blocksPerMB/2), 16*blocksPerKB, 2)
+	}},
+	{"soplex_like", "thrash+gather", func(seg int, seed, base uint64) *Gen {
+		return phasedKernel("", 4096,
+			loopScanKernel("", seed, base, scale(seg, 2*blocksPerMB), 8*blocksPerKB, 2),
+			gatherKernel("", seed+1, base+1<<33, 1*blocksPerMB, scale(seg, 12*blocksPerMB), 2, 2))
+	}},
+	{"bzip2_like", "loop+zipf", func(seg int, seed, base uint64) *Gen {
+		return phasedKernel("", 4096,
+			loopScanKernel("", seed, base, scale(seg, 3*blocksPerMB/2), 0, 2),
+			zipfObjectKernel("", seed+1, base+1<<33, 24*1024, 128, []uint64{0, 64}, 0.8, 6*1024, 60, 16, 2))
+	}},
+
+	// --- zipf object access: mixed reuse, strong PC/offset signal ---
+	{"gcc_like", "zipf-objects", func(seg int, seed, base uint64) *Gen {
+		return zipfObjectKernel("", seed, base, int(scale(seg, 96*1024)), 256, []uint64{0, 8, 40, 112, 200}, 0.85, 6*1024, 70, 12, 2)
+	}},
+	{"perlbench_like", "zipf-objects", func(seg int, seed, base uint64) *Gen {
+		return zipfObjectKernel("", seed, base, int(scale(seg, 48*1024)), 192, []uint64{0, 16, 88}, 1.0, 5*1024, 75, 8, 3)
+	}},
+	{"gobmk_like", "zipf-objects small", func(seg int, seed, base uint64) *Gen {
+		return zipfObjectKernel("", seed, base, int(scale(seg, 12*1024)), 128, []uint64{0, 32, 72}, 0.9, 4*1024, 80, 10, 4)
+	}},
+	{"sjeng_like", "burst-walk small", func(seg int, seed, base uint64) *Gen {
+		return burstWalkKernel("", seed, base, scale(seg, 20*blocksPerKB*16), 4, 4)
+	}},
+	{"astar_like", "phased chase/burst", func(seg int, seed, base uint64) *Gen {
+		return phasedKernel("", 4096,
+			chaseKernel("", seed, base, int(scale(seg, 48*1024)), 1, 3),
+			burstWalkKernel("", seed+1, base+1<<33, scale(seg, 1*blocksPerMB), 6, 3))
+	}},
+	{"h264ref_like", "hot/cold", func(seg int, seed, base uint64) *Gen {
+		return hotColdKernel("", seed, base, 12*blocksPerKB*16, scale(seg, 8*blocksPerMB), 85, 3)
+	}},
+	{"hmmer_like", "hot/cold", func(seg int, seed, base uint64) *Gen {
+		return hotColdKernel("", seed, base, 16*blocksPerKB*16, scale(seg, 4*blocksPerMB), 90, 3)
+	}},
+
+	// --- mostly cache-resident: low MPKI, keeps suite averages honest ---
+	{"povray_like", "resident", func(seg int, seed, base uint64) *Gen {
+		return hotColdKernel("", seed, base, 8*blocksPerKB*16, scale(seg, 2*blocksPerMB), 97, 4)
+	}},
+	{"namd_like", "resident", func(seg int, seed, base uint64) *Gen {
+		return hotColdKernel("", seed, base, 10*blocksPerKB*16, scale(seg, 1*blocksPerMB), 96, 4)
+	}},
+	{"gamess_like", "resident", func(seg int, seed, base uint64) *Gen {
+		return hotColdKernel("", seed, base, 6*blocksPerKB*16, scale(seg, 1*blocksPerMB), 98, 4)
+	}},
+	{"gromacs_like", "resident burst", func(seg int, seed, base uint64) *Gen {
+		return burstWalkKernel("", seed, base, scale(seg, 14*blocksPerKB*16), 8, 4)
+	}},
+	{"dealII_like", "resident zipf", func(seg int, seed, base uint64) *Gen {
+		return zipfObjectKernel("", seed, base, int(scale(seg, 8*1024)), 192, []uint64{0, 24, 120}, 1.1, 3*1024, 80, 14, 3)
+	}},
+	{"calculix_like", "resident stream", func(seg int, seed, base uint64) *Gen {
+		return phasedKernel("", 8192,
+			hotColdKernel("", seed, base, 12*blocksPerKB*16, scale(seg, 1*blocksPerMB), 95, 3),
+			streamKernel("", seed+1, base+1<<33, scale(seg, 2*blocksPerMB), 1, 4, 0, 3))
+	}},
+	{"tonto_like", "resident zipf", func(seg int, seed, base uint64) *Gen {
+		return zipfObjectKernel("", seed, base, int(scale(seg, 10*1024)), 160, []uint64{0, 48}, 1.0, 4*1024, 80, 12, 4)
+	}},
+
+	// --- server / ML workloads (CloudSuite + mlpack) ---
+	{"data_caching_like", "hash-table zipf", func(seg int, seed, base uint64) *Gen {
+		return hashTableKernel("", seed, base, int(scale(seg, 192*1024)), 3, 0.95, 3)
+	}},
+	{"graph_analytics_like", "graph gather", func(seg int, seed, base uint64) *Gen {
+		return graphKernel("", seed, base, int(scale(seg, 256*1024)), scale(seg, 24*blocksPerMB), 4, 2)
+	}},
+	{"sat_solver_like", "burst walk", func(seg int, seed, base uint64) *Gen {
+		return burstWalkKernel("", seed, base, scale(seg, 3*blocksPerMB), 5, 3)
+	}},
+	{"mlpack_cf_like", "matrix", func(seg int, seed, base uint64) *Gen {
+		return matrixKernel("", seed, base, 2*blocksPerMB, int(scale(seg, 64*1024)), 2, 0.9, 2)
+	}},
+}
+
+// Benchmarks returns the names of all benchmarks in suite order.
+func Benchmarks() []string {
+	names := make([]string, len(suite))
+	for i, b := range suite {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// Classes returns a map from benchmark name to archetype class.
+func Classes() map[string]string {
+	m := make(map[string]string, len(suite))
+	for _, b := range suite {
+		m[b.Name] = b.Class
+	}
+	return m
+}
+
+// SegmentID identifies one segment of one benchmark.
+type SegmentID struct {
+	Bench string
+	Seg   int
+}
+
+// String returns "bench-seg".
+func (s SegmentID) String() string { return segName(s.Bench, s.Seg) }
+
+// Segments returns all 99 segment IDs in suite order.
+func Segments() []SegmentID {
+	ids := make([]SegmentID, 0, len(suite)*SegmentsPerBenchmark)
+	for _, b := range suite {
+		for s := 0; s < SegmentsPerBenchmark; s++ {
+			ids = append(ids, SegmentID{Bench: b.Name, Seg: s})
+		}
+	}
+	return ids
+}
+
+// NewGenerator builds the trace generator for a segment, placing its
+// address footprint at the given base. Multi-programmed drivers give each
+// core a disjoint base. It panics on unknown benchmarks (programming
+// error: names come from Benchmarks/Segments).
+func NewGenerator(id SegmentID, base uint64) trace.Generator {
+	for _, b := range suite {
+		if b.Name == id.Bench {
+			if id.Seg < 0 || id.Seg >= SegmentsPerBenchmark {
+				panic(fmt.Sprintf("workload: segment %d out of range for %s", id.Seg, id.Bench))
+			}
+			g := b.make(id.Seg, seedFor(b.Name, id.Seg), base)
+			g.name = id.String()
+			g.Reset()
+			return g
+		}
+	}
+	panic(fmt.Sprintf("workload: unknown benchmark %q", id.Bench))
+}
+
+// ParseSegmentID parses "bench-N" notation, e.g. "mcf_like-2".
+func ParseSegmentID(s string) (SegmentID, error) {
+	i := strings.LastIndexByte(s, '-')
+	if i <= 0 || i == len(s)-1 {
+		return SegmentID{}, fmt.Errorf("workload: segment %q not in bench-N form", s)
+	}
+	seg, err := strconv.Atoi(s[i+1:])
+	if err != nil || seg < 0 || seg >= SegmentsPerBenchmark {
+		return SegmentID{}, fmt.Errorf("workload: bad segment index in %q", s)
+	}
+	bench := s[:i]
+	if !Lookup(bench) {
+		return SegmentID{}, fmt.Errorf("workload: unknown benchmark %q", bench)
+	}
+	return SegmentID{Bench: bench, Seg: seg}, nil
+}
+
+// Lookup reports whether a benchmark exists.
+func Lookup(name string) bool {
+	for _, b := range suite {
+		if b.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Mix is one multi-programmed workload: four segments sharing the LLC.
+type Mix [4]SegmentID
+
+// String returns a compact mix name.
+func (m Mix) String() string {
+	return fmt.Sprintf("%s+%s+%s+%s", m[0], m[1], m[2], m[3])
+}
+
+// Mixes generates n 4-segment mixes drawn uniformly at random without
+// replacement from the 99 segments, following the paper's methodology
+// (Section 4.2). The same seed always yields the same mixes; the paper's
+// split uses the first 100 as the feature-search training set and the
+// remaining 900 for reporting.
+func Mixes(n int, seed uint64) []Mix {
+	segs := Segments()
+	rng := xrand.New(seed)
+	mixes := make([]Mix, n)
+	for i := range mixes {
+		perm := rng.Perm(len(segs))[:4]
+		sort.Ints(perm)
+		for j, p := range perm {
+			mixes[i][j] = segs[p]
+		}
+	}
+	return mixes
+}
+
+// DefaultMixSeed is the seed used for the canonical 1000-mix list.
+const DefaultMixSeed = 20170422
+
+// CoreBase returns the address-space base for a core in a multi-programmed
+// run, keeping per-core footprints disjoint.
+func CoreBase(core int) uint64 { return (uint64(core) + 1) << 40 }

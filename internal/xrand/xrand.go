@@ -1,0 +1,209 @@
+// Package xrand provides a small, fast, deterministic pseudo-random number
+// generator used by workload generators and the feature search.
+//
+// The simulator must be bit-for-bit reproducible across runs and Go
+// versions, so it does not use math/rand (whose stream is only stable per
+// major version for the global functions). The generator here is
+// xoshiro256**, seeded via splitmix64, which is the reference seeding
+// procedure for the xoshiro family.
+package xrand
+
+// RNG is a xoshiro256** pseudo-random number generator. The zero value is
+// not usable; construct with New.
+type RNG struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from the given seed using splitmix64.
+func New(seed uint64) *RNG {
+	var r RNG
+	r.Seed(seed)
+	return &r
+}
+
+// Seed resets the generator state from seed.
+func (r *RNG) Seed(seed uint64) {
+	for i := range r.s {
+		seed += 0x9e3779b97f4a7c15
+		z := seed
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Uint32 returns the next 32 pseudo-random bits.
+func (r *RNG) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a uniform pseudo-random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniform pseudo-random uint64 in [0, n). It panics if
+// n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a pseudo-random boolean.
+func (r *RNG) Bool() bool { return r.Uint64()&1 == 1 }
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Zipf draws from a Zipf-like distribution over [0, n) with skew parameter
+// s > 0 using inverse-CDF sampling against a precomputed table. Construct
+// with NewZipf; this is deliberately simple (the table is O(n)) because
+// workload alphabets are small.
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf builds a Zipf sampler over n items with exponent s, drawing
+// randomness from rng. Smaller ranks are more likely.
+func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1.0 / pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// Draw returns the next sample in [0, n).
+func (z *Zipf) Draw() int {
+	u := z.rng.Float64()
+	// Binary search for the first cdf entry >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// pow computes x**y for y >= 0 without importing math, keeping this package
+// dependency-free. Accuracy is more than sufficient for sampling tables.
+func pow(x, y float64) float64 {
+	// x**y = exp(y * ln x); use the identity via repeated squaring for the
+	// integer part and a short series for the fractional part.
+	if x <= 0 {
+		return 0
+	}
+	yi := int(y)
+	frac := y - float64(yi)
+	r := 1.0
+	base := x
+	for yi > 0 {
+		if yi&1 == 1 {
+			r *= base
+		}
+		base *= base
+		yi >>= 1
+	}
+	if frac != 0 {
+		r *= exp(frac * ln(x))
+	}
+	return r
+}
+
+func ln(x float64) float64 {
+	// ln(x) via atanh series on (x-1)/(x+1) after range reduction by
+	// halving/doubling toward [0.5, 2).
+	const ln2 = 0.6931471805599453
+	k := 0
+	for x > 2 {
+		x /= 2
+		k++
+	}
+	for x < 0.5 {
+		x *= 2
+		k--
+	}
+	t := (x - 1) / (x + 1)
+	t2 := t * t
+	sum := 0.0
+	term := t
+	for i := 1; i < 30; i += 2 {
+		sum += term / float64(i)
+		term *= t2
+	}
+	return 2*sum + float64(k)*ln2
+}
+
+func exp(x float64) float64 {
+	// exp(x) via Taylor series after range reduction.
+	neg := false
+	if x < 0 {
+		x = -x
+		neg = true
+	}
+	n := int(x)
+	frac := x - float64(n)
+	// e**n by repeated multiplication.
+	const e = 2.718281828459045
+	r := 1.0
+	for i := 0; i < n; i++ {
+		r *= e
+	}
+	term := 1.0
+	sum := 1.0
+	for i := 1; i < 20; i++ {
+		term *= frac / float64(i)
+		sum += term
+	}
+	r *= sum
+	if neg {
+		return 1 / r
+	}
+	return r
+}

@@ -1,0 +1,197 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverged at %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestSeedChangesStream(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestReseedRestartsStream(t *testing.T) {
+	r := New(7)
+	first := make([]uint64, 10)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Seed(7)
+	for i := range first {
+		if v := r.Uint64(); v != first[i] {
+			t.Fatalf("reseed did not restart stream at %d", i)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nRange(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 10000; i++ {
+		if v := r.Uint64n(1000); v >= 1000 {
+			t.Fatalf("Uint64n(1000) = %d out of range", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %g out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(6)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %.4f too far from 0.5", mean)
+	}
+}
+
+func TestUniformity(t *testing.T) {
+	// Chi-squared-ish check over 16 buckets.
+	r := New(8)
+	var buckets [16]int
+	const n = 160000
+	for i := 0; i < n; i++ {
+		buckets[r.Intn(16)]++
+	}
+	want := n / 16
+	for i, c := range buckets {
+		if c < want*9/10 || c > want*11/10 {
+			t.Fatalf("bucket %d has %d of expected %d", i, c, want)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := New(seed)
+		p := r.Perm(20)
+		seen := make([]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfRangeAndSkew(t *testing.T) {
+	r := New(9)
+	z := NewZipf(r, 100, 1.0)
+	var counts [100]int
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := z.Draw()
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf draw %d out of range", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("zipf not skewed: rank0=%d rank50=%d", counts[0], counts[50])
+	}
+	// Rank 0 should get roughly 1/H(100) ~ 19% of draws at s=1.
+	frac := float64(counts[0]) / n
+	if frac < 0.12 || frac > 0.30 {
+		t.Fatalf("zipf head fraction %.3f outside plausible band", frac)
+	}
+}
+
+func TestZipfPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(0) did not panic")
+		}
+	}()
+	NewZipf(New(1), 0, 1.0)
+}
+
+func TestInternalMathAgainstStdlib(t *testing.T) {
+	// The package avoids importing math in its implementation; verify the
+	// private helpers against the standard library.
+	cases := []struct{ x, y float64 }{
+		{2, 0.5}, {10, 1.3}, {1.5, 3.7}, {100, 0.85}, {3, 0}, {7, 2},
+	}
+	for _, c := range cases {
+		got := pow(c.x, c.y)
+		want := math.Pow(c.x, c.y)
+		if math.Abs(got-want)/want > 1e-6 {
+			t.Errorf("pow(%g,%g) = %g, want %g", c.x, c.y, got, want)
+		}
+	}
+	for _, x := range []float64{0.1, 0.5, 1, 2, 10, 12345} {
+		if got, want := ln(x), math.Log(x); math.Abs(got-want) > 1e-9*math.Abs(want)+1e-12 {
+			t.Errorf("ln(%g) = %g, want %g", x, got, want)
+		}
+	}
+	for _, x := range []float64{-3, -0.5, 0, 0.5, 1, 4.2} {
+		if got, want := exp(x), math.Exp(x); math.Abs(got-want)/want > 1e-9 {
+			t.Errorf("exp(%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestBoolBalance(t *testing.T) {
+	r := New(11)
+	trues := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool() {
+			trues++
+		}
+	}
+	if trues < n*45/100 || trues > n*55/100 {
+		t.Fatalf("Bool() %d/%d true", trues, n)
+	}
+}

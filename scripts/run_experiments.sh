@@ -1,0 +1,18 @@
+#!/bin/sh
+# Full experiment campaign: regenerates every figure/table TSV into
+# results/. Roughly an hour on one core at these budgets; raise
+# MEASURE/WARMUP/MIXES for tighter numbers. Single-thread and multi-core
+# tables are computed once and shared across figures.
+set -eu
+
+cd "$(dirname "$0")/.."
+go build -o /tmp/mpppb-experiments ./cmd/mpppb-experiments
+
+RESULTS=${1:-results}
+MEASURE=${MEASURE:-1500000}
+WARMUP=${WARMUP:-400000}
+MIXES=${MIXES:-25}
+
+exec /tmp/mpppb-experiments -id all -out "$RESULTS" \
+  -warmup "$WARMUP" -measure "$MEASURE" -mixes "$MIXES" \
+  -ablate-mixes 4 -random 40 -climb 60 -roc-segments 33 -table3-segments 33
