@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench experiments results cover clean
+.PHONY: all build test vet race bench experiments results cover clean
 
 all: build test
 
@@ -14,6 +14,11 @@ vet:
 
 test: vet
 	$(GO) test ./...
+
+# Race-detector pass over the concurrent packages: the worker pool, the
+# single-flight caches, and the experiment drivers that fan across them.
+race:
+	$(GO) test -race ./internal/parallel ./internal/sim ./internal/experiments
 
 # Scaled-down reproduction of every figure/table as Go benchmarks.
 bench:

@@ -10,6 +10,11 @@
 // Scale knobs: -warmup/-measure (instructions per run), -mixes (multi-core
 // workload count), -random/-climb (fig3 search budget). The defaults keep
 // the full suite tractable on a laptop; raise them for tighter numbers.
+//
+// Independent runs fan across a worker pool sized by -j (default
+// GOMAXPROCS; -j 1 forces the serial path). Results are merged in input
+// order and shared baselines are single-flight, so the TSV output is
+// byte-identical at every -j — parallelism only changes wall-clock time.
 package main
 
 import (
@@ -18,10 +23,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"mpppb/internal/core"
 	"mpppb/internal/experiments"
+	"mpppb/internal/parallel"
 	"mpppb/internal/plot"
 	"mpppb/internal/sim"
 	"mpppb/internal/workload"
@@ -40,6 +47,9 @@ type runner struct {
 	plot         bool
 	stPolicies   []string
 	mcPolicies   []string
+	// stBenches restricts fig6/fig7 to a benchmark subset (nil = full
+	// suite); used by -benches and the golden-output tests.
+	stBenches []string
 
 	// Cached tables so fig6/fig7 (and fig4/fig5) share their runs when
 	// regenerating multiple experiments in one invocation.
@@ -73,8 +83,11 @@ func main() {
 		charts  = flag.Bool("plot", false, "append ASCII charts as comment lines")
 		stPols  = flag.String("st-policies", "", "override single-thread policy list (comma-separated)")
 		mcPols  = flag.String("mc-policies", "", "override multi-core policy list (comma-separated)")
+		benches = flag.String("benches", "", "restrict fig6/fig7 to these benchmarks (comma-separated)")
+		j       = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for independent runs (1 = serial; output is identical at any -j)")
 	)
 	flag.Parse()
+	parallel.SetDefault(*j)
 
 	r := &runner{
 		stCfg:       sim.SingleThreadConfig(),
@@ -99,6 +112,15 @@ func main() {
 		r.mcPolicies = strings.Split(*mcPols, ",")
 	} else {
 		r.mcPolicies = experiments.DefaultMultiCorePolicies()
+	}
+	if *benches != "" {
+		r.stBenches = strings.Split(*benches, ",")
+		for _, b := range r.stBenches {
+			if !workload.Lookup(b) {
+				fmt.Fprintf(os.Stderr, "mpppb-experiments: unknown benchmark %q\n", b)
+				os.Exit(1)
+			}
+		}
 	}
 	if !*quiet {
 		r.progress = func(format string, args ...any) {
@@ -336,7 +358,7 @@ func (r *runner) run(id string) error {
 
 func (r *runner) singleTable() *experiments.SingleThreadTable {
 	if r.stTable == nil {
-		r.stTable = experiments.SingleThread(r.stCfg, r.stPolicies, nil, r.progress)
+		r.stTable = experiments.SingleThread(r.stCfg, r.stPolicies, r.stBenches, r.progress)
 	}
 	return r.stTable
 }

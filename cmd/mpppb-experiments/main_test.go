@@ -1,0 +1,66 @@
+package main
+
+// Golden-output tests: a tiny configuration (one benchmark, two policies,
+// short runs) exercises the full TSV rendering path — runner, experiment
+// driver, worker pool — and the bytes written must match testdata/
+// exactly. Because the pool merges deterministically, the goldens hold at
+// any -j; the test runs with the default pool width to prove it.
+//
+// Regenerate after an intentional output change with:
+//
+//	go test ./cmd/mpppb-experiments -run Golden -update
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mpppb/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files in testdata/")
+
+// goldenRunner builds the 2-policy × 3-segment configuration shared by the
+// golden tests: one benchmark (3 segments), short warmup/measure.
+func goldenRunner(outDir string) *runner {
+	cfg := sim.SingleThreadConfig()
+	cfg.Warmup, cfg.Measure = 150_000, 500_000
+	return &runner{
+		stCfg:      cfg,
+		mcCfg:      sim.MultiCoreConfig(),
+		outDir:     outDir,
+		stPolicies: []string{"sdbp", "mpppb"},
+		stBenches:  []string{"sphinx3_like"},
+	}
+}
+
+func TestGoldenTSV(t *testing.T) {
+	dir := t.TempDir()
+	r := goldenRunner(dir)
+	// fig6 and fig7 share r.stTable, so this also checks the cached-table
+	// path renders identically to a fresh one; table1 is compiled-in data.
+	for _, id := range []string{"fig6", "fig7", "table1"} {
+		if err := r.run(id); err != nil {
+			t.Fatalf("run(%s): %v", id, err)
+		}
+		got, err := os.ReadFile(filepath.Join(dir, id+".tsv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		golden := filepath.Join("testdata", id+".golden.tsv")
+		if *update {
+			if err := os.WriteFile(golden, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("missing golden (run with -update to create): %v", err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s output differs from %s\n--- got ---\n%s\n--- want ---\n%s", id, golden, got, want)
+		}
+	}
+}

@@ -11,9 +11,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"mpppb"
+	"mpppb/internal/parallel"
 	"mpppb/internal/sim"
 	"mpppb/internal/stats"
 	"mpppb/internal/workload"
@@ -27,8 +29,10 @@ func main() {
 		warmup     = flag.Uint64("warmup", sim.DefaultWarmup, "warmup instructions")
 		measure    = flag.Uint64("measure", sim.DefaultMeasure, "measured instructions")
 		summary    = flag.Bool("summary", false, "print only AUC and band TPRs")
+		j          = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for independent runs (1 = serial)")
 	)
 	flag.Parse()
+	parallel.SetDefault(*j)
 
 	cfg := mpppb.SingleThreadConfig()
 	cfg.Warmup, cfg.Measure = *warmup, *measure
@@ -52,13 +56,17 @@ func main() {
 
 	for _, pred := range strings.Split(*predictors, ",") {
 		pred = strings.TrimSpace(pred)
+		// Segments fan across the pool; samples pool in segment order, so
+		// the curve matches a serial run exactly.
+		perSeg, err := parallel.Map(0, len(ids), func(i int) ([]stats.ROCSample, error) {
+			return mpppb.ROCSamples(cfg, ids[i], pred)
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		var pool []stats.ROCSample
-		for _, id := range ids {
-			samples, err := mpppb.ROCSamples(cfg, id, pred)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
+		for _, samples := range perSeg {
 			pool = append(pool, samples...)
 		}
 		curve := stats.ROC(pool)

@@ -12,8 +12,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"mpppb/internal/experiments"
+	"mpppb/internal/parallel"
 	"mpppb/internal/sim"
 )
 
@@ -26,8 +28,10 @@ func main() {
 		measure  = flag.Uint64("measure", 1_000_000, "measured instructions per evaluation")
 		seed     = flag.Uint64("seed", 2017, "search seed")
 		quiet    = flag.Bool("q", false, "suppress progress output")
+		j        = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines; each feature-set evaluation fans its training segments across them (1 = serial)")
 	)
 	flag.Parse()
+	parallel.SetDefault(*j)
 
 	cfg := sim.SingleThreadConfig()
 	cfg.Warmup, cfg.Measure = *warmup, *measure

@@ -12,10 +12,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"text/tabwriter"
 
 	"mpppb"
+	"mpppb/internal/parallel"
 	"mpppb/internal/sim"
 	"mpppb/internal/workload"
 )
@@ -29,8 +31,10 @@ func main() {
 		measure  = flag.Uint64("measure", sim.DefaultMeasure, "measured instructions")
 		list     = flag.Bool("list", false, "list benchmarks and policies, then exit")
 		verbose  = flag.Bool("v", false, "after mpppb runs, print decision counters and per-feature weight statistics")
+		j        = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for independent runs (1 = serial)")
 	)
 	flag.Parse()
+	parallel.SetDefault(*j)
 
 	if *list {
 		fmt.Println("policies:", strings.Join(sim.PolicyNames(), " "), "min")
@@ -65,32 +69,50 @@ func main() {
 		}
 	}
 
-	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
-	fmt.Fprintln(w, "segment\tpolicy\tIPC\tMPKI\tLLC misses\tbypasses")
+	// Every (segment, policy) run is independent: fan the grid across the
+	// worker pool, then print rows in grid order so output is identical at
+	// any -j.
+	type job struct {
+		id    workload.SegmentID
+		pname string
+	}
+	var jobs []job
 	for _, b := range benches {
 		for _, s := range segs {
-			id := workload.SegmentID{Bench: b, Seg: s}
 			for _, pname := range strings.Split(*policies, ",") {
-				pname = strings.TrimSpace(pname)
-				var res mpppb.Result
-				var err error
-				if *verbose && strings.HasPrefix(pname, "mpppb") {
-					var info string
-					res, info, err = mpppb.RunVerbose(cfg, id, pname)
-					if err == nil {
-						defer fmt.Fprintf(os.Stderr, "\n--- %s on %s ---\n%s", pname, id, info)
-					}
-				} else {
-					res, err = mpppb.Run(cfg, id, pname)
-				}
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "%v\n", err)
-					os.Exit(1)
-				}
-				fmt.Fprintf(w, "%s\t%s\t%.3f\t%.2f\t%d\t%d\n",
-					id, pname, res.IPC, res.MPKI, res.LLCMisses, res.Bypasses)
+				jobs = append(jobs, job{workload.SegmentID{Bench: b, Seg: s}, strings.TrimSpace(pname)})
 			}
 		}
 	}
+	type rowInfo struct {
+		res  mpppb.Result
+		info string
+	}
+	rows, err := parallel.Map(0, len(jobs), func(i int) (rowInfo, error) {
+		jb := jobs[i]
+		if *verbose && strings.HasPrefix(jb.pname, "mpppb") {
+			res, info, err := mpppb.RunVerbose(cfg, jb.id, jb.pname)
+			return rowInfo{res: res, info: info}, err
+		}
+		res, err := mpppb.Run(cfg, jb.id, jb.pname)
+		return rowInfo{res: res}, err
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "segment\tpolicy\tIPC\tMPKI\tLLC misses\tbypasses")
+	for i, jb := range jobs {
+		res := rows[i].res
+		fmt.Fprintf(w, "%s\t%s\t%.3f\t%.2f\t%d\t%d\n",
+			jb.id, jb.pname, res.IPC, res.MPKI, res.LLCMisses, res.Bypasses)
+	}
 	w.Flush()
+	for i, jb := range jobs {
+		if rows[i].info != "" {
+			fmt.Fprintf(os.Stderr, "\n--- %s on %s ---\n%s", jb.pname, jb.id, rows[i].info)
+		}
+	}
 }

@@ -11,9 +11,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"mpppb"
+	"mpppb/internal/parallel"
 	"mpppb/internal/sim"
 	"mpppb/internal/workload"
 )
@@ -26,8 +28,10 @@ func main() {
 		dim      = flag.String("dim", "llc", "sweep dimension: llc (capacity) or mem (DRAM latency)")
 		warmup   = flag.Uint64("warmup", sim.DefaultWarmup, "warmup instructions")
 		measure  = flag.Uint64("measure", sim.DefaultMeasure, "measured instructions")
+		j        = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for independent runs (1 = serial)")
 	)
 	flag.Parse()
+	parallel.SetDefault(*j)
 
 	if !workload.Lookup(*bench) {
 		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
@@ -67,14 +71,27 @@ func main() {
 		fmt.Printf("\t%s_ipc\t%s_mpki", p, p)
 	}
 	fmt.Println()
-	for _, pt := range points {
+	// The (point, policy) grid is independent runs; fan it across the
+	// pool and print in grid order.
+	type cell struct{ pt, pol int }
+	var cells []cell
+	for pi := range points {
+		for qi := range pols {
+			cells = append(cells, cell{pi, qi})
+		}
+	}
+	results, err := parallel.Map(0, len(cells), func(i int) (mpppb.Result, error) {
+		c := cells[i]
+		return mpppb.Run(points[c.pt].cfg, id, strings.TrimSpace(pols[c.pol]))
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+	for pi, pt := range points {
 		fmt.Printf("%s", pt.label)
-		for _, p := range pols {
-			res, err := mpppb.Run(pt.cfg, id, strings.TrimSpace(p))
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "%v\n", err)
-				os.Exit(1)
-			}
+		for qi := range pols {
+			res := results[pi*len(pols)+qi]
 			fmt.Printf("\t%.3f\t%.2f", res.IPC, res.MPKI)
 		}
 		fmt.Println()

@@ -14,8 +14,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
+	"mpppb/internal/parallel"
 	"mpppb/internal/sim"
 	"mpppb/internal/trace"
 	"mpppb/internal/workload"
@@ -33,8 +35,10 @@ func main() {
 		policies = flag.String("policy", "lru,mpppb", "policies for -replay")
 		warmup   = flag.Uint64("warmup", sim.DefaultWarmup, "warmup instructions for -replay")
 		measure  = flag.Uint64("measure", sim.DefaultMeasure, "measured instructions for -replay")
+		j        = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for independent runs (1 = serial)")
 	)
 	flag.Parse()
+	parallel.SetDefault(*j)
 
 	switch {
 	case *imp != "":
@@ -130,18 +134,31 @@ func main() {
 
 	case *replay != "":
 		recs := load(*replay)
-		gen := trace.NewReplayGenerator(*replay, recs)
 		cfg := sim.SingleThreadConfig()
 		cfg.Warmup, cfg.Measure = *warmup, *measure
-		for _, pname := range strings.Split(*policies, ",") {
-			pname = strings.TrimSpace(pname)
+		// Policies replay independently: each worker gets its own replay
+		// cursor over the shared (read-only) record slice.
+		pols := strings.Split(*policies, ",")
+		type replayRes struct {
+			res   sim.Result
+			wraps uint64
+		}
+		results, err := parallel.Map(0, len(pols), func(i int) (replayRes, error) {
+			pname := strings.TrimSpace(pols[i])
 			pf, err := sim.Policy(pname)
 			if err != nil {
-				fatal("%v", err)
+				return replayRes{}, err
 			}
+			gen := trace.NewReplayGenerator(*replay, recs)
 			res := sim.RunSingle(cfg, gen, pf)
+			return replayRes{res: res, wraps: gen.Wraps}, nil
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+		for i, pname := range pols {
 			fmt.Printf("%-14s IPC %.3f  MPKI %.2f  (replay wrapped %d times)\n",
-				pname, res.IPC, res.MPKI, gen.Wraps)
+				strings.TrimSpace(pname), results[i].res.IPC, results[i].res.MPKI, results[i].wraps)
 		}
 
 	default:

@@ -12,9 +12,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"mpppb/internal/core"
 	"mpppb/internal/experiments"
+	"mpppb/internal/parallel"
 	"mpppb/internal/search"
 	"mpppb/internal/sim"
 	"mpppb/internal/xrand"
@@ -29,8 +31,10 @@ func main() {
 		measure  = flag.Uint64("measure", 1_200_000, "measured instructions")
 		seed     = flag.Uint64("seed", 55, "search seed")
 		tau0step = flag.Int("tau0-step", 16, "exhaustive tau0 sweep step")
+		j        = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines; each evaluation fans its training segments across them (1 = serial)")
 	)
 	flag.Parse()
+	parallel.SetDefault(*j)
 
 	cfg := sim.SingleThreadConfig()
 	params := core.SingleThreadParams()

@@ -3,6 +3,7 @@ package experiments
 import (
 	"mpppb/internal/cache"
 	"mpppb/internal/core"
+	"mpppb/internal/parallel"
 	"mpppb/internal/sim"
 	"mpppb/internal/stats"
 	"mpppb/internal/workload"
@@ -15,25 +16,32 @@ func mpppbFactory(params core.Params) sim.PolicyFactory {
 	}
 }
 
+// lruWSCache memoizes per-mix LRU weighted-speedup baselines across the
+// sweep points of an ablation (keyed by mix index — every call of one
+// experiment shares one fixed mix list). Single-flight, so parallel sweep
+// points never duplicate an LRU baseline run.
+type lruWSCache = parallel.Memo[int, float64]
+
 // multiCoreGeomeanWS computes the geometric-mean LRU-normalized weighted
 // speedup of a policy over the given mixes — the y-axis of Figures 9 and
-// 10. LRU runs and standalone IPCs are recomputed per call; callers
-// sweeping configurations over the same mixes should pass a shared cache.
-func multiCoreGeomeanWS(cfg sim.Config, pf sim.PolicyFactory, mixes []workload.Mix, singles *sim.SingleIPCCache, lruWS map[int]float64, progress Progress) float64 {
+// 10. Mixes fan across the worker pool; per-mix speedups merge in input
+// order so the geomean accumulates in the serial sequence. Callers
+// sweeping configurations over the same mixes pass shared singles/lruWS
+// caches so baselines are computed once per sweep, not once per point.
+func multiCoreGeomeanWS(cfg sim.Config, pf sim.PolicyFactory, mixes []workload.Mix, singles *sim.SingleIPCCache, lruWS *lruWSCache, progress Progress) float64 {
 	lruPF := mustPolicy("lru")
-	var speedups []float64
-	for i, mix := range mixes {
+	trk := progress.tracker(len(mixes))
+	speedups, err := parallel.Map(0, len(mixes), func(i int) (float64, error) {
+		mix := mixes[i]
 		single := singles.For(mix)
-		base, ok := lruWS[i]
-		if !ok {
-			lruRes := sim.RunMulti(cfg, mix, lruPF)
-			base = lruRes.WeightedSpeedup(single)
-			lruWS[i] = base
-		}
+		base := lruWS.Do(i, func() float64 {
+			return sim.RunMulti(cfg, mix, lruPF).WeightedSpeedup(single)
+		})
 		res := sim.RunMulti(cfg, mix, pf)
-		speedups = append(speedups, res.WeightedSpeedup(single)/base)
-		progress.log("  mix %d/%d done", i+1, len(mixes))
-	}
+		trk.step("  mix %s", mix)
+		return res.WeightedSpeedup(single) / base, nil
+	})
+	mergeErr(err)
 	return stats.GeoMean(speedups)
 }
 
@@ -44,7 +52,7 @@ func MultiCoreWith(cfg sim.Config, params core.Params, mixes []workload.Mix, sin
 	if singles == nil {
 		singles = sim.NewSingleIPCCache(cfg)
 	}
-	return multiCoreGeomeanWS(cfg, mpppbFactory(params), mixes, singles, map[int]float64{}, nil)
+	return multiCoreGeomeanWS(cfg, mpppbFactory(params), mixes, singles, &lruWSCache{}, nil)
 }
 
 // Fig9Result is the uniform-associativity experiment (Figure 9): fixing
@@ -62,7 +70,7 @@ type Fig9Result struct {
 // multi-programmed feature set (Section 6.4, Figure 9).
 func Fig9UniformAssociativity(cfg sim.Config, mixes []workload.Mix, progress Progress) *Fig9Result {
 	singles := sim.NewSingleIPCCache(cfg)
-	lruWS := map[int]float64{}
+	lruWS := &lruWSCache{}
 	res := &Fig9Result{}
 
 	base := core.MultiCoreParams()
@@ -102,7 +110,7 @@ func Fig10FeatureAblation(cfg sim.Config, features []core.Feature, mixes []workl
 		features = core.SingleThreadSetA()
 	}
 	singles := sim.NewSingleIPCCache(cfg)
-	lruWS := map[int]float64{}
+	lruWS := &lruWSCache{}
 
 	res := &Fig10Result{Features: features, OmittedWS: make([]float64, len(features))}
 	params := core.MultiCoreParams()
@@ -154,17 +162,37 @@ func Table3FeatureBenefit(cfg sim.Config, features []core.Feature, segments []wo
 		rows[i].PctIncrease = -1
 	}
 
-	for _, id := range segments {
-		progress.log("table3 %s", id)
+	// Each segment's full+leave-one-out runs are independent; fan them
+	// across the pool and fold the "best segment per feature" reduction in
+	// segment order, so ties keep resolving to the earliest segment exactly
+	// as the serial loop did.
+	type segMPKIs struct {
+		with    float64
+		without []float64
+	}
+	trk := progress.tracker(len(segments))
+	runs, err := parallel.Map(0, len(segments), func(si int) (segMPKIs, error) {
+		id := segments[si]
 		gen := workload.NewGenerator(id, workload.CoreBase(0))
-		with := sim.RunFastMPKI(cfg, gen, mpppbFactory(params)).MPKI
+		r := segMPKIs{without: make([]float64, len(features))}
+		r.with = sim.RunFastMPKI(cfg, gen, mpppbFactory(params)).MPKI
 		for i := range features {
 			sub := make([]core.Feature, 0, len(features)-1)
 			sub = append(sub, features[:i]...)
 			sub = append(sub, features[i+1:]...)
 			p := params
 			p.Features = sub
-			without := sim.RunFastMPKI(cfg, gen, mpppbFactory(p)).MPKI
+			r.without[i] = sim.RunFastMPKI(cfg, gen, mpppbFactory(p)).MPKI
+		}
+		trk.step("table3 %s", id)
+		return r, nil
+	})
+	mergeErr(err)
+
+	for si, id := range segments {
+		with := runs[si].with
+		for i := range features {
+			without := runs[si].without[i]
 			pct := 0.0
 			if with > 0 {
 				pct = 100 * (without - with) / with

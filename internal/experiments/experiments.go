@@ -8,17 +8,60 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"mpppb/internal/sim"
 	"mpppb/internal/workload"
 )
 
 // Progress receives human-readable status lines; nil disables reporting.
+// The experiment drivers fan work across goroutines (see -j on the cmd
+// tools), so the callback must tolerate being invoked from any goroutine;
+// the drivers serialize calls through a tracker, so the callback itself
+// never runs concurrently with itself and completion counts it sees are
+// monotonic.
 type Progress func(format string, args ...any)
 
 func (p Progress) log(format string, args ...any) {
 	if p != nil {
 		p(format, args...)
+	}
+}
+
+// tracker adapts a Progress callback for use from pool workers: calls are
+// serialized under a mutex and each carries a completed/total counter that
+// increases monotonically regardless of the order workers finish in.
+type tracker struct {
+	mu    sync.Mutex
+	p     Progress
+	done  int
+	total int
+}
+
+// tracker wraps p for total units of concurrent work.
+func (p Progress) tracker(total int) *tracker {
+	return &tracker{p: p, total: total}
+}
+
+// step records one completed unit and logs it with the running count.
+func (t *tracker) step(format string, args ...any) {
+	if t.p == nil {
+		return
+	}
+	t.mu.Lock()
+	t.done++
+	t.p("%s (%d/%d done)", fmt.Sprintf(format, args...), t.done, t.total)
+	t.mu.Unlock()
+}
+
+// mergeErr rethrows a pool error on the experiment goroutine. Experiment
+// functions have no error returns (policy names are validated or compiled
+// in), so a worker failure — in practice only a captured panic — surfaces
+// the way it would have surfaced serially, but without deadlocking or
+// killing sibling workers mid-run.
+func mergeErr(err error) {
+	if err != nil {
+		panic(err)
 	}
 }
 

@@ -3,6 +3,7 @@ package experiments
 import (
 	"mpppb/internal/cache"
 	"mpppb/internal/core"
+	"mpppb/internal/parallel"
 	"mpppb/internal/policy"
 	"mpppb/internal/search"
 	"mpppb/internal/sim"
@@ -62,15 +63,22 @@ func Fig3FeatureSearch(cfg sim.Config, training []workload.SegmentID, nRandom, c
 
 	res.PaperSetMPKI = ev.MPKI(core.SingleThreadSetB())
 
-	// Reference lines: LRU and MIN average MPKI over the training set.
-	var lruSum, minSum float64
-	for _, id := range training {
-		gen := workload.NewGenerator(id, workload.CoreBase(0))
-		lruSum += sim.RunFastMPKI(cfg, gen, func(sets, ways int) cache.ReplacementPolicy {
+	// Reference lines: LRU and MIN average MPKI over the training set,
+	// fanned across the pool and summed in segment order.
+	type refMPKI struct{ lru, min float64 }
+	refs, err := parallel.Map(0, len(training), func(i int) (refMPKI, error) {
+		gen := workload.NewGenerator(training[i], workload.CoreBase(0))
+		lru := sim.RunFastMPKI(cfg, gen, func(sets, ways int) cache.ReplacementPolicy {
 			return policy.NewLRU(sets, ways)
 		}).MPKI
 		_, minRes := sim.RunSingleMIN(cfg, gen)
-		minSum += minRes.MPKI
+		return refMPKI{lru: lru, min: minRes.MPKI}, nil
+	})
+	mergeErr(err)
+	var lruSum, minSum float64
+	for _, r := range refs {
+		lruSum += r.lru
+		minSum += r.min
 	}
 	res.LRUMPKI = lruSum / float64(len(training))
 	res.MINMPKI = minSum / float64(len(training))

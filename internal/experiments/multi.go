@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"mpppb/internal/parallel"
 	"mpppb/internal/sim"
 	"mpppb/internal/stats"
 	"mpppb/internal/workload"
@@ -27,6 +28,11 @@ type MultiCoreTable struct {
 }
 
 // MultiCore runs the multi-programmed evaluation over the given mixes.
+// Mixes are independent, so they fan across the worker pool; the shared
+// SingleIPCCache is single-flight, so concurrent mixes needing the same
+// segment's standalone baseline never duplicate that run. Per-mix results
+// merge back in input order, making the table byte-identical at any
+// worker count.
 func MultiCore(cfg sim.Config, policies []string, mixes []workload.Mix, progress Progress) *MultiCoreTable {
 	t := &MultiCoreTable{
 		Policies:        policies,
@@ -40,19 +46,36 @@ func MultiCore(cfg sim.Config, policies []string, mixes []workload.Mix, progress
 	singles := sim.NewSingleIPCCache(cfg)
 	lruPF := mustPolicy("lru")
 
-	for i, mix := range mixes {
-		progress.log("multi-core mix %d/%d %s", i+1, len(mixes), mix)
+	type mixRun struct {
+		lruMPKI float64
+		ws      map[string]float64
+		mpki    map[string]float64
+	}
+	trk := progress.tracker(len(mixes))
+	runs, err := parallel.Map(0, len(mixes), func(i int) (mixRun, error) {
+		mix := mixes[i]
 		single := singles.For(mix)
 		lruRes := sim.RunMulti(cfg, mix, lruPF)
 		lruWS := lruRes.WeightedSpeedup(single)
-		t.WeightedSpeedup["lru"] = append(t.WeightedSpeedup["lru"], 1.0)
-		t.MPKI["lru"] = append(t.MPKI["lru"], lruRes.MPKI)
+		r := mixRun{lruMPKI: lruRes.MPKI, ws: map[string]float64{}, mpki: map[string]float64{}}
 		for _, p := range policies {
 			res := sim.RunMulti(cfg, mix, mustPolicy(p))
-			ws := res.WeightedSpeedup(single) / lruWS
-			t.WeightedSpeedup[p] = append(t.WeightedSpeedup[p], ws)
-			t.MPKI[p] = append(t.MPKI[p], res.MPKI)
-			if ws < 1 {
+			r.ws[p] = res.WeightedSpeedup(single) / lruWS
+			r.mpki[p] = res.MPKI
+		}
+		trk.step("multi-core mix %s", mix)
+		return r, nil
+	})
+	mergeErr(err)
+
+	for i := range mixes {
+		r := runs[i]
+		t.WeightedSpeedup["lru"] = append(t.WeightedSpeedup["lru"], 1.0)
+		t.MPKI["lru"] = append(t.MPKI["lru"], r.lruMPKI)
+		for _, p := range policies {
+			t.WeightedSpeedup[p] = append(t.WeightedSpeedup[p], r.ws[p])
+			t.MPKI[p] = append(t.MPKI[p], r.mpki[p])
+			if r.ws[p] < 1 {
 				t.BelowLRU[p]++
 			}
 		}

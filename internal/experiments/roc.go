@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"mpppb/internal/parallel"
 	"mpppb/internal/sim"
 	"mpppb/internal/stats"
 	"mpppb/internal/workload"
@@ -50,11 +51,20 @@ func ROCCurves(cfg sim.Config, predictors []string, segments []workload.SegmentI
 		if err != nil {
 			panic("experiments: " + err.Error())
 		}
-		var pool []stats.ROCSample
-		for _, id := range segments {
-			progress.log("roc %s %s", pred, id)
+		// Segments fan across the pool; samples pool in segment order so
+		// the curve is byte-identical at any worker count.
+		trk := progress.tracker(len(segments))
+		perSeg, perr := parallel.Map(0, len(segments), func(i int) ([]stats.ROCSample, error) {
+			id := segments[i]
 			gen := workload.NewGenerator(id, workload.CoreBase(0))
-			pool = append(pool, sim.RunROC(cfg, gen, cf)...)
+			samples := sim.RunROC(cfg, gen, cf)
+			trk.step("roc %s %s", pred, id)
+			return samples, nil
+		})
+		mergeErr(perr)
+		var pool []stats.ROCSample
+		for _, samples := range perSeg {
+			pool = append(pool, samples...)
 		}
 		curve := stats.ROC(pool)
 		t.Curves[pred] = curve

@@ -3,6 +3,7 @@ package experiments
 import (
 	"sort"
 
+	"mpppb/internal/parallel"
 	"mpppb/internal/sim"
 	"mpppb/internal/stats"
 	"mpppb/internal/workload"
@@ -39,7 +40,10 @@ func (t *SingleThreadTable) AllSingleThreadPolicies() []string {
 }
 
 // SingleThread runs the single-thread evaluation: every benchmark segment
-// under LRU, MIN, and the given policies.
+// under LRU, MIN, and the given policies. Segments are independent, so
+// they fan across the worker pool (parallel.Default, the cmd tools' -j);
+// per-segment results merge back in suite order, making the table
+// byte-identical at any worker count.
 func SingleThread(cfg sim.Config, policies []string, benches []string, progress Progress) *SingleThreadTable {
 	if benches == nil {
 		benches = workload.Benchmarks()
@@ -61,23 +65,46 @@ func SingleThread(cfg sim.Config, policies []string, benches []string, progress 
 		t.MPKI[p] = map[string]float64{}
 	}
 
-	segWeights := workload.SegmentWeights()
+	// One unit of work per (benchmark, segment): all policies on that
+	// segment, sharing the segment's generator as the serial code did.
+	type segRun struct {
+		ipc  map[string]float64
+		mpki map[string]float64
+	}
+	ids := make([]workload.SegmentID, 0, len(benches)*workload.SegmentsPerBenchmark)
 	for _, bench := range benches {
+		for seg := 0; seg < workload.SegmentsPerBenchmark; seg++ {
+			ids = append(ids, workload.SegmentID{Bench: bench, Seg: seg})
+		}
+	}
+	trk := progress.tracker(len(ids))
+	runs, err := parallel.Map(0, len(ids), func(i int) (segRun, error) {
+		id := ids[i]
+		r := segRun{ipc: map[string]float64{}, mpki: map[string]float64{}}
+		gen := workload.NewGenerator(id, workload.CoreBase(0))
+		lruRes, minRes := sim.RunSingleMIN(cfg, gen)
+		r.ipc["lru"], r.mpki["lru"] = lruRes.IPC, lruRes.MPKI
+		r.ipc["min"], r.mpki["min"] = minRes.IPC, minRes.MPKI
+		for _, p := range policies {
+			res := sim.RunSingle(cfg, gen, mustPolicy(p))
+			r.ipc[p], r.mpki[p] = res.IPC, res.MPKI
+		}
+		trk.step("single-thread %s", id)
+		return r, nil
+	})
+	mergeErr(err)
+
+	// Merge in suite order: aggregation below consumes per-segment values
+	// in exactly the sequence the serial loop produced them.
+	segWeights := workload.SegmentWeights()
+	for bi, bench := range benches {
 		ipcs := map[string][]float64{}
 		mpkis := map[string][]float64{}
 		for seg := 0; seg < workload.SegmentsPerBenchmark; seg++ {
-			id := workload.SegmentID{Bench: bench, Seg: seg}
-			progress.log("single-thread %s", id)
-			gen := workload.NewGenerator(id, workload.CoreBase(0))
-			lruRes, minRes := sim.RunSingleMIN(cfg, gen)
-			ipcs["lru"] = append(ipcs["lru"], lruRes.IPC)
-			mpkis["lru"] = append(mpkis["lru"], lruRes.MPKI)
-			ipcs["min"] = append(ipcs["min"], minRes.IPC)
-			mpkis["min"] = append(mpkis["min"], minRes.MPKI)
-			for _, p := range policies {
-				res := sim.RunSingle(cfg, gen, mustPolicy(p))
-				ipcs[p] = append(ipcs[p], res.IPC)
-				mpkis[p] = append(mpkis[p], res.MPKI)
+			r := runs[bi*workload.SegmentsPerBenchmark+seg]
+			for _, p := range all {
+				ipcs[p] = append(ipcs[p], r.ipc[p])
+				mpkis[p] = append(mpkis[p], r.mpki[p])
 			}
 		}
 		for _, p := range all {

@@ -1,0 +1,45 @@
+package parallel
+
+import "sync"
+
+// Memo is a concurrency-safe, single-flight memoization table: for each
+// key the compute function runs exactly once, concurrent callers of the
+// same key block until that one computation finishes, and distinct keys
+// compute independently. The zero value is ready to use.
+//
+// The experiment drivers use it wherever parallel runs share derived
+// state — standalone-IPC baselines, per-mix LRU references — so fanning a
+// sweep across workers cannot duplicate a baseline run or race on a map.
+type Memo[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*memoEntry[V]
+}
+
+type memoEntry[V any] struct {
+	once sync.Once
+	v    V
+}
+
+// Do returns the memoized value for key, running compute at most once per
+// key across all callers.
+func (m *Memo[K, V]) Do(key K, compute func() V) V {
+	m.mu.Lock()
+	if m.m == nil {
+		m.m = make(map[K]*memoEntry[V])
+	}
+	e := m.m[key]
+	if e == nil {
+		e = &memoEntry[V]{}
+		m.m[key] = e
+	}
+	m.mu.Unlock()
+	e.once.Do(func() { e.v = compute() })
+	return e.v
+}
+
+// Len returns the number of keys present (computed or in flight).
+func (m *Memo[K, V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.m)
+}

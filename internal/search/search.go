@@ -12,6 +12,7 @@ import (
 
 	"mpppb/internal/cache"
 	"mpppb/internal/core"
+	"mpppb/internal/parallel"
 	"mpppb/internal/sim"
 	"mpppb/internal/workload"
 	"mpppb/internal/xrand"
@@ -124,19 +125,28 @@ func NewEvaluator(cfg sim.Config, training []workload.SegmentID) *Evaluator {
 }
 
 // MPKI returns the average MPKI of a feature set over the training
-// segments.
+// segments. Segments fan across the worker pool — the search itself
+// (random population, then a sequential hill climb) parallelizes here, at
+// the evaluation level — and per-segment MPKIs are summed in training
+// order, so the average is bit-identical to a serial evaluation.
 func (e *Evaluator) MPKI(set []core.Feature) float64 {
-	var sum float64
-	for _, id := range e.Training {
-		gen := workload.NewGenerator(id, workload.CoreBase(0))
-		params := e.Params
-		params.Features = set
+	params := e.Params
+	params.Features = set
+	mpkis, err := parallel.Map(0, len(e.Training), func(i int) (float64, error) {
+		gen := workload.NewGenerator(e.Training[i], workload.CoreBase(0))
 		res := sim.RunFastMPKI(e.Cfg, gen, func(sets, ways int) cache.ReplacementPolicy {
 			return core.NewMPPPB(sets, ways, params)
 		})
-		sum += res.MPKI
-		e.Evals++
+		return res.MPKI, nil
+	})
+	if err != nil {
+		panic("search: " + err.Error())
 	}
+	var sum float64
+	for _, m := range mpkis {
+		sum += m
+	}
+	e.Evals += len(e.Training)
 	return sum / float64(len(e.Training))
 }
 

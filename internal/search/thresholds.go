@@ -3,6 +3,7 @@ package search
 import (
 	"mpppb/internal/cache"
 	"mpppb/internal/core"
+	"mpppb/internal/parallel"
 	"mpppb/internal/sim"
 	"mpppb/internal/workload"
 	"mpppb/internal/xrand"
@@ -22,17 +23,24 @@ type ThresholdEvaluator struct {
 	Evals    int
 }
 
-// MPKI evaluates one parameterization.
+// MPKI evaluates one parameterization. Training segments fan across the
+// worker pool and sum in order (see Evaluator.MPKI).
 func (e *ThresholdEvaluator) MPKI(params core.Params) float64 {
-	var sum float64
-	for _, id := range e.Training {
-		gen := workload.NewGenerator(id, workload.CoreBase(0))
+	mpkis, err := parallel.Map(0, len(e.Training), func(i int) (float64, error) {
+		gen := workload.NewGenerator(e.Training[i], workload.CoreBase(0))
 		res := sim.RunFastMPKI(e.Cfg, gen, func(sets, ways int) cache.ReplacementPolicy {
 			return core.NewMPPPB(sets, ways, params)
 		})
-		sum += res.MPKI
-		e.Evals++
+		return res.MPKI, nil
+	})
+	if err != nil {
+		panic("search: " + err.Error())
 	}
+	var sum float64
+	for _, m := range mpkis {
+		sum += m
+	}
+	e.Evals += len(e.Training)
 	return sum / float64(len(e.Training))
 }
 

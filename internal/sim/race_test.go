@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"mpppb/internal/workload"
+)
+
+// TestSingleIPCCacheConcurrent hammers one SingleIPCCache from 16
+// goroutines requesting overlapping mixes. Run under -race (the CI race
+// job does) it proves the mutex + single-flight rewrite: no data race, and
+// every caller observes exactly the serially-computed baseline IPCs.
+func TestSingleIPCCacheConcurrent(t *testing.T) {
+	cfg := MultiCoreConfig()
+	cfg.Warmup = 20_000
+	cfg.Measure = 60_000
+	mixes := workload.Mixes(6, 7) // 6 mixes over a small segment pool: heavy overlap
+
+	// Serial reference values, one fresh cache per segment lookup.
+	want := make([][4]float64, len(mixes))
+	ref := NewSingleIPCCache(cfg)
+	for i, mix := range mixes {
+		want[i] = ref.For(mix)
+	}
+
+	shared := NewSingleIPCCache(cfg)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errs := make(chan string, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for rep := 0; rep < 4; rep++ {
+				for i, mix := range mixes {
+					if got := shared.For(mix); got != want[i] {
+						select {
+						case errs <- mix.String():
+						default:
+						}
+						return
+					}
+					_ = g
+				}
+			}
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	if m, bad := <-errs; bad {
+		t.Fatalf("concurrent SingleIPCCache.For(%s) diverged from serial baseline", m)
+	}
+}
