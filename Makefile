@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench experiments results cover clean
+.PHONY: all build test vet race bench bench-hotpath bench-record experiments results cover clean
 
 all: build test
 
@@ -23,6 +23,17 @@ race:
 # Scaled-down reproduction of every figure/table as Go benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x .
+
+# Hot-path microbenchmarks: predictor confidence, one LLC access, generator
+# batching, and the end-to-end fig6 segment. See docs/PERFORMANCE.md.
+bench-hotpath:
+	$(GO) test -run NONE -bench 'BenchmarkPredictorConfidence|BenchmarkLLCAccess' -benchmem -benchtime 2s ./internal/core
+	$(GO) test -run NONE -bench BenchmarkGeneratorBatch -benchmem -benchtime 2s ./internal/workload
+	$(GO) test -run NONE -bench BenchmarkEndToEndFig6Segment -benchmem -benchtime 1x .
+
+# Record a throughput trajectory point as BENCH_<n>.json.
+bench-record:
+	scripts/bench.sh
 
 # Full experiment campaign: TSV per figure/table into results/.
 # Raise -warmup/-measure/-mixes for tighter numbers (slower).

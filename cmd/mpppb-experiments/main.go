@@ -30,6 +30,7 @@ import (
 	"mpppb/internal/experiments"
 	"mpppb/internal/parallel"
 	"mpppb/internal/plot"
+	"mpppb/internal/prof"
 	"mpppb/internal/sim"
 	"mpppb/internal/workload"
 )
@@ -87,6 +88,7 @@ func main() {
 		j       = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for independent runs (1 = serial; output is identical at any -j)")
 	)
 	flag.Parse()
+	defer prof.Start()()
 	parallel.SetDefault(*j)
 
 	r := &runner{

@@ -16,6 +16,7 @@ import (
 
 	"mpppb/internal/experiments"
 	"mpppb/internal/parallel"
+	"mpppb/internal/prof"
 	"mpppb/internal/sim"
 )
 
@@ -31,6 +32,7 @@ func main() {
 		j        = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines; each feature-set evaluation fans its training segments across them (1 = serial)")
 	)
 	flag.Parse()
+	defer prof.Start()()
 	parallel.SetDefault(*j)
 
 	cfg := sim.SingleThreadConfig()

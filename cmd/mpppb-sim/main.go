@@ -18,6 +18,7 @@ import (
 
 	"mpppb"
 	"mpppb/internal/parallel"
+	"mpppb/internal/prof"
 	"mpppb/internal/sim"
 	"mpppb/internal/workload"
 )
@@ -34,6 +35,7 @@ func main() {
 		j        = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for independent runs (1 = serial)")
 	)
 	flag.Parse()
+	defer prof.Start()()
 	parallel.SetDefault(*j)
 
 	if *list {

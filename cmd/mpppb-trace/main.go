@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"mpppb/internal/parallel"
+	"mpppb/internal/prof"
 	"mpppb/internal/sim"
 	"mpppb/internal/trace"
 	"mpppb/internal/workload"
@@ -38,6 +39,7 @@ func main() {
 		j        = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for independent runs (1 = serial)")
 	)
 	flag.Parse()
+	defer prof.Start()()
 	parallel.SetDefault(*j)
 
 	switch {

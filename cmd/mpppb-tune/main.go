@@ -17,6 +17,7 @@ import (
 	"mpppb/internal/core"
 	"mpppb/internal/experiments"
 	"mpppb/internal/parallel"
+	"mpppb/internal/prof"
 	"mpppb/internal/search"
 	"mpppb/internal/sim"
 	"mpppb/internal/xrand"
@@ -34,6 +35,7 @@ func main() {
 		j        = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines; each evaluation fans its training segments across them (1 = serial)")
 	)
 	flag.Parse()
+	defer prof.Start()()
 	parallel.SetDefault(*j)
 
 	cfg := sim.SingleThreadConfig()

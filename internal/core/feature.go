@@ -163,7 +163,10 @@ func ParseFeatureSet(s string) ([]Feature, error) {
 	return out, nil
 }
 
-// Validate checks parameter ranges.
+// Validate checks parameter ranges. Offset features may declare E beyond
+// the block-offset width — published feature sets do, e.g. Table 1(b)'s
+// offset(15,3,7,0) — and the effective range is clamped once at
+// construction (see offsetRange); everything else must be in range.
 func (f Feature) Validate() error {
 	if f.A < MinA || f.A > MaxA {
 		return fmt.Errorf("core: %s: A=%d out of [%d,%d]", f, f.A, MinA, MaxA)
@@ -183,6 +186,21 @@ func (f Feature) Validate() error {
 	return nil
 }
 
+// offsetRange returns an offset feature's effective bit range: B/E clamped
+// into the block-offset width. The clamp lives here — used once when a
+// predictor compiles the feature, and by the reference Index/IndexBits —
+// rather than being re-derived on every access.
+func (f Feature) offsetRange() (b, e int) {
+	b, e = f.B, f.E
+	if e > OffsetBits-1 {
+		e = OffsetBits - 1
+	}
+	if b > e {
+		b = e
+	}
+	return b, e
+}
+
 // IndexBits returns the width of this feature's table index, following
 // Section 3.4: pc/address features (and anything XORed with the PC) fold to
 // 8 bits (256 weights); offset features use at most 6 bits (64 weights);
@@ -193,13 +211,7 @@ func (f Feature) IndexBits() int {
 	case KindPC, KindAddress:
 		return 8
 	case KindOffset:
-		b, e := f.B, f.E
-		if e > OffsetBits-1 {
-			e = OffsetBits - 1
-		}
-		if b > e {
-			b = e
-		}
+		b, e := f.offsetRange()
 		n := e - b + 1
 		if f.X && n < OffsetBits {
 			n = OffsetBits
@@ -258,8 +270,10 @@ type Input struct {
 	// Addr is the referenced byte address.
 	Addr uint64
 	// History holds recent memory-access PCs; History[0] is the current
-	// PC, History[w] the w-th most recent before it.
-	History *[MaxW + 1]uint64
+	// PC, History[w] the w-th most recent before it. Only the reference
+	// Feature.Index reads it — the predictor's compiled kernels read the
+	// per-core history ring directly, so its hot path never fills this.
+	History [MaxW + 1]uint64
 	// Insert is true when the access is an insertion (a miss).
 	Insert bool
 	// Burst is true when the access re-references the most recently used
@@ -269,7 +283,9 @@ type Input struct {
 	LastMiss bool
 }
 
-// Index computes the feature's table index for an access.
+// Index computes the feature's table index for an access. This is the
+// reference implementation the compiled kernels are verified against; the
+// predictor itself evaluates kernels (see kernel.go).
 func (f Feature) Index(in *Input) uint32 {
 	bits := f.IndexBits()
 	var raw uint64
@@ -279,14 +295,7 @@ func (f Feature) Index(in *Input) uint32 {
 	case KindAddress:
 		raw = extractBits(in.Addr, f.B, f.E)
 	case KindOffset:
-		e := f.E
-		if e > OffsetBits-1 {
-			e = OffsetBits - 1
-		}
-		b := f.B
-		if b > e {
-			b = e
-		}
+		b, e := f.offsetRange()
 		raw = extractBits(in.Addr&(trace.BlockSize-1), b, e)
 	case KindBias:
 		raw = 0

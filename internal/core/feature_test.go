@@ -136,11 +136,10 @@ func TestPaperFeatureSetsParseAndValidate(t *testing.T) {
 }
 
 func TestIndexDependsOnDeclaredInputsOnly(t *testing.T) {
-	hist := new([MaxW + 1]uint64)
-	for i := range hist {
-		hist[i] = uint64(0x1000 + i*4)
+	base := Input{PC: 0x4004, Addr: 0xdeadbeef, Insert: true, Burst: false, LastMiss: true}
+	for i := range base.History {
+		base.History[i] = uint64(0x1000 + i*4)
 	}
-	base := Input{PC: 0x4004, Addr: 0xdeadbeef, History: hist, Insert: true, Burst: false, LastMiss: true}
 
 	cases := []struct {
 		spec    string
@@ -165,7 +164,6 @@ func TestIndexDependsOnDeclaredInputsOnly(t *testing.T) {
 			t.Fatal(err)
 		}
 		in := base
-		in.History = hist
 		before := f.Index(&in)
 		c.mutate(&in)
 		after := f.Index(&in)
@@ -176,19 +174,18 @@ func TestIndexDependsOnDeclaredInputsOnly(t *testing.T) {
 }
 
 func TestPCFeatureSelectsHistoryDepth(t *testing.T) {
-	hist := new([MaxW + 1]uint64)
-	for i := range hist {
-		hist[i] = uint64(i) << 8
+	var in Input
+	for i := range in.History {
+		in.History[i] = uint64(i) << 8
 	}
-	in := Input{History: hist}
 	f := Feature{Kind: KindPC, A: 5, B: 0, E: 20, W: 3}
 	idx := f.Index(&in)
-	hist[3] ^= 0xff00 // within bits 0..20 of History[3]
+	in.History[3] ^= 0xff00 // within bits 0..20 of History[3]
 	if f.Index(&in) == idx {
 		t.Fatal("changing History[W] did not change the index")
 	}
 	idx = f.Index(&in)
-	hist[4] ^= 0xff00
+	in.History[4] ^= 0xff00
 	if f.Index(&in) != idx {
 		t.Fatal("changing History[W+1] changed a W-indexed feature")
 	}
@@ -197,11 +194,10 @@ func TestPCFeatureSelectsHistoryDepth(t *testing.T) {
 func TestIndexAlwaysInTable(t *testing.T) {
 	rng := xrand.New(99)
 	if err := quick.Check(func(pc, addr, h uint64, ins, burst, lm bool) bool {
-		hist := new([MaxW + 1]uint64)
-		for i := range hist {
-			hist[i] = h * uint64(i+1)
+		in := Input{PC: pc, Addr: addr, Insert: ins, Burst: burst, LastMiss: lm}
+		for i := range in.History {
+			in.History[i] = h * uint64(i+1)
 		}
-		in := Input{PC: pc, Addr: addr, History: hist, Insert: ins, Burst: burst, LastMiss: lm}
 		// Try several random features per input.
 		for k := 0; k < 20; k++ {
 			f := Feature{
@@ -280,7 +276,7 @@ func TestDeadBoundary(t *testing.T) {
 
 func TestOffsetUsesBlockOffsetOnly(t *testing.T) {
 	f := Feature{Kind: KindOffset, A: 5, B: 0, E: 5}
-	in := Input{Addr: 0x38, History: new([MaxW + 1]uint64)}
+	in := Input{Addr: 0x38}
 	i1 := f.Index(&in)
 	in.Addr = 0x38 + trace.BlockSize // same offset, next block
 	if f.Index(&in) != i1 {

@@ -13,17 +13,15 @@ import (
 // comparable across versions: re-record the values and say so in the
 // commit.
 func TestFeatureIndexGolden(t *testing.T) {
-	hist := new([MaxW + 1]uint64)
-	for i := range hist {
-		hist[i] = 0x400000 + uint64(i)*0x1234
-	}
 	in := &Input{
 		PC:       0x402468,
 		Addr:     0xdeadbeef,
-		History:  hist,
 		Insert:   true,
 		Burst:    false,
 		LastMiss: true,
+	}
+	for i := range in.History {
+		in.History[i] = 0x400000 + uint64(i)*0x1234
 	}
 	in.History[0] = in.PC
 

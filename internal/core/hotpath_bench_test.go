@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"mpppb/internal/cache"
+)
+
+// Hot-path microbenchmarks for the per-access predictor work. These are the
+// numbers docs/PERFORMANCE.md tracks; scripts/bench.sh runs them and emits
+// a BENCH_<n>.json trajectory point.
+
+// benchAccess produces a deterministic but irregular access stream: a few
+// static PCs walking several address regions, which exercises the pc,
+// address, offset and bias features without degenerating into one index.
+func benchAccess(i int) cache.Access {
+	pc := uint64(0x400000 + (i%13)*4)
+	addr := uint64(i)*88 + uint64(i%7)<<14
+	return cache.Access{PC: pc, Addr: addr, Core: 0}
+}
+
+// BenchmarkPredictorConfidence measures one predict (+ per-core history
+// update) through the full single-thread feature set — the work MPPPB does
+// on every LLC access before any training.
+func BenchmarkPredictorConfidence(b *testing.B) {
+	p := NewPredictor(SingleThreadSetB(), 2048, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		a := benchAccess(i)
+		set := int(a.Block() & 2047)
+		sum += p.Confidence(a, set, i%3 == 0)
+		p.observe(a, set, i%3 == 0, true)
+	}
+	if sum == 1<<62 {
+		b.Fatal("impossible") // keep sum live
+	}
+}
+
+// BenchmarkLLCAccess measures a full LLC lookup under MPPPB — probe, policy
+// callbacks, prediction, sampler training on sampled sets — on a stream
+// with a realistic hit/miss mix.
+func BenchmarkLLCAccess(b *testing.B) {
+	m := NewMPPPB(2048, 16, SingleThreadParams())
+	c := cache.New("llc", 2048, 16, m)
+	// Warm the cache so steady state has hits, misses, and evictions.
+	for i := 0; i < 200_000; i++ {
+		c.Access(benchAccess(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(benchAccess(i))
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mpppb/internal/cache"
+	"mpppb/internal/trace"
+	"mpppb/internal/xrand"
+)
+
+// ringFromInput lays an Input's History array out as the predictor's ring
+// would hold it: History[w] is the w-th most recent PC, so it lives w-1
+// slots past the head (History[0] is the current PC, which kernels take
+// from in.PC instead of the ring).
+func ringFromInput(in *Input) (*[histRingLen]uint64, uint32) {
+	var ring [histRingLen]uint64
+	head := uint32(5) // arbitrary; equivalence must hold for any head
+	for w := 1; w <= MaxW; w++ {
+		ring[(head+uint32(w)-1)&histRingMask] = in.History[w]
+	}
+	return &ring, head
+}
+
+// TestKernelMatchesReferenceIndex proves the compiled kernels compute
+// exactly what the reference Feature.Index computes, over random features
+// (including offset features with out-of-range E, as search generates) and
+// random inputs.
+func TestKernelMatchesReferenceIndex(t *testing.T) {
+	rng := xrand.New(7)
+	if err := quick.Check(func(pc, addr, h uint64, ins, burst, lm bool) bool {
+		in := Input{PC: pc, Addr: addr, Insert: ins, Burst: burst, LastMiss: lm}
+		in.History[0] = pc
+		for i := 1; i < len(in.History); i++ {
+			in.History[i] = h*uint64(i+1) + uint64(i)
+		}
+		ring, head := ringFromInput(&in)
+		for k := 0; k < 40; k++ {
+			f := Feature{
+				Kind: Kind(rng.Intn(7)),
+				A:    1 + rng.Intn(MaxA),
+				W:    rng.Intn(MaxW + 1),
+				X:    rng.Bool(),
+			}
+			switch f.Kind {
+			case KindOffset:
+				// Mirror search.RandomFeature: E may exceed the offset width.
+				f.B = rng.Intn(OffsetBits)
+				f.E = f.B + rng.Intn(OffsetBits-f.B+2)
+			case KindPC, KindAddress:
+				f.B = rng.Intn(40)
+				f.E = f.B + rng.Intn(24)
+			}
+			if err := f.Validate(); err != nil {
+				t.Fatalf("generated invalid feature: %v", err)
+			}
+			kern := compileKernel(f, 0)
+			if got, want := kern.index(&in, ring, head), f.Index(&in); got != want {
+				t.Logf("%s: kernel %#x, reference %#x (in=%+v)", f, got, want, in)
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKernelMatchesReferenceOnPaperSets runs the same equivalence over the
+// published feature sets with a fixed input, so a regression names the
+// exact feature.
+func TestKernelMatchesReferenceOnPaperSets(t *testing.T) {
+	in := Input{PC: 0x402468, Addr: 0xdeadbeef, Insert: true, LastMiss: true}
+	in.History[0] = in.PC
+	for i := 1; i < len(in.History); i++ {
+		in.History[i] = 0x400000 + uint64(i)*0x1234
+	}
+	ring, head := ringFromInput(&in)
+	for name, set := range map[string][]Feature{
+		"1a": SingleThreadSetA(),
+		"1b": SingleThreadSetB(),
+		"2":  MultiProgrammedSet(),
+	} {
+		for _, f := range set {
+			kern := compileKernel(f, 0)
+			if got, want := kern.index(&in, ring, head), f.Index(&in); got != want {
+				t.Errorf("set %s, %s: kernel %#x, reference %#x", name, f, got, want)
+			}
+		}
+	}
+}
+
+// TestFold8MatchesFoldTo pins the unrolled 8-bit fold against the generic
+// loop.
+func TestFold8MatchesFoldTo(t *testing.T) {
+	cases := []uint64{0, 1, 0xab, 0xfeedfeedfeedfeed >> 2, ^uint64(0), 1 << 63, 0x123456789abcdef0}
+	for _, v := range cases {
+		if fold8(v) != foldTo(v, 8) {
+			t.Errorf("fold8(%#x) = %#x, foldTo = %#x", v, fold8(v), foldTo(v, 8))
+		}
+	}
+	if err := quick.Check(func(v uint64) bool { return fold8(v) == foldTo(v, 8) }, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSteadyStateAccessDoesNotAllocate guards the zero-allocation property
+// of the MPPPB LLC hot path: once the structures are built, simulating an
+// access must not touch the heap.
+func TestSteadyStateAccessDoesNotAllocate(t *testing.T) {
+	m := NewMPPPB(2048, 16, SingleThreadParams())
+	c := cache.New("llc", 2048, 16, m)
+	step := func(i int) {
+		c.Access(cache.Access{
+			PC:   0x400000 + uint64(i%13)*4,
+			Addr: uint64(i)*88 + uint64(i%7)<<14,
+			Type: trace.Load,
+		})
+	}
+	for i := 0; i < 50000; i++ {
+		step(i)
+	}
+	n := 50000
+	if avg := testing.AllocsPerRun(2000, func() {
+		step(n)
+		n++
+	}); avg != 0 {
+		t.Fatalf("steady-state LLC access allocates %v times per access", avg)
+	}
+}

@@ -116,6 +116,17 @@ type MPPPB struct {
 	srrip   *policy.SRRIP
 	ways    int
 
+	// Victim→Fill memo: the cache calls Victim and, unless it bypasses,
+	// Fill for the same access back-to-back with no predictor activity in
+	// between, so Fill can reuse the confidence (and the index vector left
+	// in the predictor) instead of recomputing. pendValid only survives
+	// from a non-bypass Victim to the immediately following Fill.
+	pendValid bool
+	pendSet   int
+	pendBlock uint64
+	pendPC    uint64
+	pendConf  int
+
 	// Stats.
 	Bypasses    uint64
 	NoPromotes  uint64
@@ -166,11 +177,18 @@ func (m *MPPPB) Predict(a cache.Access, set int, insert bool) int {
 func (m *MPPPB) predictAndTrain(a cache.Access, set int, insert bool) int {
 	in := m.pred.buildInput(a, set, insert)
 	conf := m.pred.computeIndices(in)
+	m.train(a, set, conf)
+	return conf
+}
+
+// train performs the sampler access that updates the weight tables, using
+// the index vector left in the predictor by its last prediction for this
+// same access.
+func (m *MPPPB) train(a cache.Access, set, conf int) {
 	if ss := m.sampler.sampledSet(set); ss >= 0 {
 		m.sampler.access(m.pred, ss, a.Block(), conf, m.pred.idx)
 		m.TrainEvents++
 	}
-	return conf
 }
 
 // Hit implements cache.ReplacementPolicy: predict, train, and decide
@@ -198,12 +216,19 @@ func (m *MPPPB) Hit(set, way int, a cache.Access) {
 func (m *MPPPB) Victim(set int, a cache.Access) (int, bool) {
 	conf := m.pred.Confidence(a, set, true)
 	if m.params.BypassEnabled && conf > m.params.Tau0 {
-		// Bypassed: Fill will not run, so train and update state here.
-		m.predictAndTrain(a, set, true)
+		// Bypassed: Fill will not run, so train and update state here. The
+		// Confidence call above already computed this access's indices.
+		m.train(a, set, conf)
 		m.pred.observe(a, set, true, false)
 		m.Bypasses++
+		m.pendValid = false
 		return 0, true
 	}
+	m.pendValid = true
+	m.pendSet = set
+	m.pendBlock = a.Block()
+	m.pendPC = a.PC
+	m.pendConf = conf
 	if m.mdpp != nil {
 		return m.mdpp.VictimWay(set), false
 	}
@@ -214,7 +239,17 @@ func (m *MPPPB) Victim(set int, a cache.Access) (int, bool) {
 // Fill implements cache.ReplacementPolicy: predict, train, and place the
 // block at the position selected by the thresholds.
 func (m *MPPPB) Fill(set, way int, a cache.Access) {
-	conf := m.predictAndTrain(a, set, true)
+	var conf int
+	if m.pendValid && m.pendSet == set && m.pendBlock == a.Block() && m.pendPC == a.PC {
+		// Same access Victim just predicted, with no predictor activity in
+		// between: the confidence and index vector are still valid.
+		conf = m.pendConf
+		m.train(a, set, conf)
+	} else {
+		// Fill without a preceding Victim (invalid frame) — predict here.
+		conf = m.predictAndTrain(a, set, true)
+	}
+	m.pendValid = false
 	pos, slot := m.placement(conf)
 	m.Placements[slot]++
 	if m.mdpp != nil {

@@ -191,13 +191,20 @@ func TestPredictorHistoryPerCore(t *testing.T) {
 	a1 := cache.Access{PC: 0x2000, Addr: 0, Type: trace.Load, Core: 1}
 	p.observe(a0, 0, true, true)
 	p.observe(a1, 0, true, true)
-	in0 := p.buildInput(cache.Access{PC: 9, Core: 0}, 0, false)
-	if in0.History[1] != 0x1000 {
-		t.Fatalf("core 0 history = %#x", in0.History[1])
+	if got := p.historyPC(0, 1); got != 0x1000 {
+		t.Fatalf("core 0 history = %#x", got)
 	}
-	in1 := p.buildInput(cache.Access{PC: 9, Core: 1}, 0, false)
-	if in1.History[1] != 0x2000 {
-		t.Fatalf("core 1 history = %#x", in1.History[1])
+	if got := p.historyPC(1, 1); got != 0x2000 {
+		t.Fatalf("core 1 history = %#x", got)
+	}
+	// The compiled W=1 kernel must read the same values through buildInput.
+	p.buildInput(cache.Access{PC: 9, Core: 0}, 0, false)
+	if got := p.curHist[p.curHead&histRingMask]; got != 0x1000 {
+		t.Fatalf("core 0 ring head = %#x", got)
+	}
+	p.buildInput(cache.Access{PC: 9, Core: 1}, 0, false)
+	if got := p.curHist[p.curHead&histRingMask]; got != 0x2000 {
+		t.Fatalf("core 1 ring head = %#x", got)
 	}
 }
 

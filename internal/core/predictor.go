@@ -23,23 +23,35 @@ const (
 // Predictor is the multiperspective reuse predictor: one weight table per
 // feature, per-core PC history, and per-set metadata feeding the burst and
 // lastmiss features.
+//
+// The hot path is compiled: NewPredictor resolves each feature into a
+// kernel (kernel.go) and lays every weight table out in one contiguous
+// array, so a prediction is a flat walk over precomputed operations with
+// no per-access parameter derivation and no history copying.
 type Predictor struct {
 	features []Feature
-	tables   [][]int8
+	kernels  []kernel
+	weights  []int8   // all weight tables, concatenated in feature order
+	tables   [][]int8 // per-feature views into weights (introspection, state I/O)
 	masks    []uint32 // index mask per table
 
-	// hist[core][w] is the w-th most recent memory-access PC (not
-	// including the access currently being predicted).
-	hist [][MaxW]uint64
+	// hist[core] is a ring of recent memory-access PCs (not including the
+	// access currently being predicted); heads[core] indexes the most
+	// recent entry.
+	hist  [][histRingLen]uint64
+	heads []uint32
 
 	// Per-LLC-set metadata.
 	lastMiss  []bool   // "requires keeping a single extra bit for every set"
 	lastBlock []uint64 // most recently used block, for the burst feature
 	haveBlock []bool
 
-	// scratch buffers reused across calls.
-	in  Input
-	idx []uint16
+	// scratch reused across calls: the assembled input, the per-feature
+	// index vector, and the requesting core's ring resolved by buildInput.
+	in      Input
+	idx     []uint16
+	curHist *[histRingLen]uint64
+	curHead uint32
 }
 
 // NewPredictor builds predictor state for an LLC with the given number of
@@ -53,21 +65,33 @@ func NewPredictor(features []Feature, llcSets, cores int) *Predictor {
 	}
 	p := &Predictor{
 		features:  features,
+		kernels:   make([]kernel, len(features)),
 		tables:    make([][]int8, len(features)),
 		masks:     make([]uint32, len(features)),
-		hist:      make([][MaxW]uint64, cores),
+		hist:      make([][histRingLen]uint64, cores),
+		heads:     make([]uint32, cores),
 		lastMiss:  make([]bool, llcSets),
 		lastBlock: make([]uint64, llcSets),
 		haveBlock: make([]bool, llcSets),
 		idx:       make([]uint16, len(features)),
 	}
-	for i, f := range features {
+	total := 0
+	for _, f := range features {
 		if err := f.Validate(); err != nil {
 			panic(err)
 		}
-		p.tables[i] = make([]int8, f.TableSize())
-		p.masks[i] = uint32(f.TableSize() - 1)
+		total += f.TableSize()
 	}
+	p.weights = make([]int8, total)
+	base := 0
+	for i, f := range features {
+		sz := f.TableSize()
+		p.tables[i] = p.weights[base : base+sz : base+sz]
+		p.masks[i] = uint32(sz - 1)
+		p.kernels[i] = compileKernel(f, uint32(base))
+		base += sz
+	}
+	p.curHist = &p.hist[0]
 	return p
 }
 
@@ -85,7 +109,9 @@ func (p *Predictor) TotalIndexBits() int {
 }
 
 // buildInput assembles the feature input for an access. insert marks
-// misses; set is the LLC set index.
+// misses; set is the LLC set index. The returned Input's History array is
+// not filled — kernels read the requesting core's history ring, resolved
+// here into p.curHist/p.curHead.
 func (p *Predictor) buildInput(a cache.Access, set int, insert bool) *Input {
 	in := &p.in
 	in.PC = accessPC(a)
@@ -93,16 +119,12 @@ func (p *Predictor) buildInput(a cache.Access, set int, insert bool) *Input {
 	in.Insert = insert
 	in.LastMiss = p.lastMiss[set]
 	in.Burst = !insert && p.haveBlock[set] && p.lastBlock[set] == a.Block()
-	if in.History == nil {
-		in.History = new([MaxW + 1]uint64)
-	}
 	core := a.Core
 	if core < 0 || core >= len(p.hist) {
 		core = 0
 	}
-	in.History[0] = in.PC
-	h := &p.hist[core]
-	copy(in.History[1:], h[:])
+	p.curHist = &p.hist[core]
+	p.curHead = p.heads[core]
 	return in
 }
 
@@ -110,12 +132,20 @@ func (p *Predictor) buildInput(a cache.Access, set int, insert bool) *Input {
 // and returns the summed, clamped confidence.
 func (p *Predictor) computeIndices(in *Input) int {
 	sum := 0
-	for i := range p.features {
-		ix := p.features[i].Index(in) & p.masks[i]
+	hist, head := p.curHist, p.curHead
+	for i := range p.kernels {
+		k := &p.kernels[i]
+		ix := k.index(in, hist, head) & k.mask
 		p.idx[i] = uint16(ix)
-		sum += int(p.tables[i][ix])
+		sum += int(p.weights[k.base+ix])
 	}
 	return clampConf(sum)
+}
+
+// historyPC returns the w-th most recent observed PC (w >= 1) for a core,
+// as a pc feature with W=w reads it.
+func (p *Predictor) historyPC(core, w int) uint64 {
+	return p.hist[core][(p.heads[core]+uint32(w)-1)&histRingMask]
 }
 
 // Confidence computes the prediction for an access without updating any
@@ -137,9 +167,9 @@ func (p *Predictor) observe(a cache.Access, set int, miss, resident bool) {
 	if core < 0 || core >= len(p.hist) {
 		core = 0
 	}
-	h := &p.hist[core]
-	copy(h[1:], h[:MaxW-1])
-	h[0] = accessPC(a)
+	head := (p.heads[core] + histRingLen - 1) & histRingMask
+	p.hist[core][head] = accessPC(a)
+	p.heads[core] = head
 }
 
 // bump adjusts one weight with saturating 6-bit arithmetic.

@@ -1,0 +1,63 @@
+// Package prof gives every command a uniform profiling interface: importing
+// it registers -cpuprofile and -memprofile flags, and Start (called after
+// flag.Parse) activates them. Typical wiring:
+//
+//	flag.Parse()
+//	defer prof.Start()()
+//
+// docs/PERFORMANCE.md shows how to read the resulting profiles.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+var (
+	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+)
+
+// Start begins CPU profiling when -cpuprofile was given. The returned stop
+// function ends the CPU profile and writes the heap profile when
+// -memprofile was given; defer it from main so it runs on normal exit
+// (error paths that os.Exit lose the profile, which is fine — profiles of
+// failed runs are not useful).
+func Start() func() {
+	var cpuF *os.File
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail("cpuprofile", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail("cpuprofile", err)
+		}
+		cpuF = f
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fail("memprofile", err)
+			}
+			runtime.GC() // materialize the steady-state live set
+			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+				fail("memprofile", err)
+			}
+			f.Close()
+		}
+	}
+}
+
+func fail(which string, err error) {
+	fmt.Fprintf(os.Stderr, "-%s: %v\n", which, err)
+	os.Exit(1)
+}

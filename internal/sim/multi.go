@@ -5,7 +5,6 @@ import (
 	"mpppb/internal/cpu"
 	"mpppb/internal/parallel"
 	"mpppb/internal/stats"
-	"mpppb/internal/trace"
 	"mpppb/internal/workload"
 )
 
@@ -47,18 +46,20 @@ func (r MultiResult) WeightedSpeedup(singleIPC [4]float64) float64 {
 func RunMulti(cfg Config, mix workload.Mix, pf PolicyFactory) MultiResult {
 	llc := NewLLC(cfg, pf)
 
-	var gens [4]trace.Generator
+	var rds [4]*batchReader
 	var hs [4]*cache.Hierarchy
 	var cores [4]*cpu.Core
 	for i := 0; i < 4; i++ {
-		gens[i] = workload.NewGenerator(mix[i], workload.CoreBase(i))
+		rds[i] = &batchReader{gen: workload.NewGenerator(mix[i], workload.CoreBase(i))}
 		hs[i] = buildHierarchy(cfg, i, llc)
 		cores[i] = cpu.New(cfg.CPU)
 	}
 
-	var rec trace.Record
+	// Each core reads its own generator through its own batch cursor, so
+	// the per-core record streams — and pickNext's interleaving of them —
+	// are identical to the per-record path.
 	step := func(i int) uint64 {
-		gens[i].Next(&rec)
+		rec := rds[i].next()
 		if rec.NonMem > 0 {
 			cores[i].NonMem(int(rec.NonMem))
 		}

@@ -119,17 +119,17 @@ func RunROC(cfg Config, gen trace.Generator, cf ConfidenceFactory) []stats.ROCSa
 	h := buildHierarchy(cfg, 0, llc)
 
 	gen.Reset()
-	var rec trace.Record
+	rd := &batchReader{gen: gen}
 	var instr uint64
 	for instr < cfg.Warmup {
-		gen.Next(&rec)
+		rec := rd.next()
 		h.Demand(rec.PC, rec.Addr, rec.IsWrite, instr)
 		instr += rec.Instructions()
 	}
 	probe.samples = probe.samples[:0]
 	instr = 0
 	for instr < cfg.Measure {
-		gen.Next(&rec)
+		rec := rd.next()
 		h.Demand(rec.PC, rec.Addr, rec.IsWrite, instr)
 		instr += rec.Instructions()
 	}

@@ -6,6 +6,9 @@
 package sim
 
 import (
+	"runtime"
+	"time"
+
 	"mpppb/internal/cache"
 	"mpppb/internal/cpu"
 	"mpppb/internal/prefetch"
@@ -78,6 +81,72 @@ type Result struct {
 	MPKI        float64
 	// Bypasses counts fills declined by the policy.
 	Bypasses uint64
+	// Throughput diagnostics for the measurement phase: wall-clock
+	// seconds, simulated LLC accesses per wall-clock second, and heap
+	// allocations per LLC access (process-wide malloc delta, so
+	// approximate when other goroutines run concurrently). These vary
+	// run-to-run and are never part of determinism comparisons or golden
+	// outputs.
+	SimSeconds      float64
+	AccessesPerSec  float64
+	AllocsPerAccess float64
+}
+
+// Deterministic returns the result with the wall-clock throughput fields
+// zeroed: everything left is a pure function of the config, segment, and
+// policy, and may be compared across runs.
+func (r Result) Deterministic() Result {
+	r.SimSeconds = 0
+	r.AccessesPerSec = 0
+	r.AllocsPerAccess = 0
+	return r
+}
+
+// startMeasure samples the wall clock and process allocation counter at
+// the start of a measurement phase; the returned function fills r's
+// throughput fields from r.LLCAccesses, so call it after the LLC counters
+// are in place.
+func startMeasure() func(r *Result) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m0, t0 := ms.Mallocs, time.Now()
+	return func(r *Result) {
+		sec := time.Since(t0).Seconds()
+		runtime.ReadMemStats(&ms)
+		r.SimSeconds = sec
+		if r.LLCAccesses > 0 {
+			if sec > 0 {
+				r.AccessesPerSec = float64(r.LLCAccesses) / sec
+			}
+			r.AllocsPerAccess = float64(ms.Mallocs-m0) / float64(r.LLCAccesses)
+		}
+	}
+}
+
+// simBatchSize is how many records the drivers pull from a generator per
+// trace.FillBatch call.
+const simBatchSize = 256
+
+// batchReader pulls records from a generator in chunks, amortizing the
+// per-record interface call. The cursor persists across warmup/measure
+// phase boundaries, so the delivered stream is exactly the generator's
+// per-record stream.
+type batchReader struct {
+	gen    trace.Generator
+	n, pos int
+	buf    [simBatchSize]trace.Record
+}
+
+// next returns the next record; the pointer is valid until the following
+// call.
+func (r *batchReader) next() *trace.Record {
+	if r.pos >= r.n {
+		r.n = trace.FillBatch(r.gen, r.buf[:])
+		r.pos = 0
+	}
+	rec := &r.buf[r.pos]
+	r.pos++
+	return rec
 }
 
 // buildHierarchy wires one core's caches. llc may be shared between cores.
@@ -111,11 +180,11 @@ func RunSingle(cfg Config, gen trace.Generator, pf PolicyFactory) Result {
 	core := cpu.New(cfg.CPU)
 
 	gen.Reset()
-	var rec trace.Record
+	rd := &batchReader{gen: gen}
 	runPhase := func(limit uint64) {
 		var done uint64
 		for done < limit {
-			gen.Next(&rec)
+			rec := rd.next()
 			if rec.NonMem > 0 {
 				core.NonMem(int(rec.NonMem))
 			}
@@ -129,10 +198,11 @@ func RunSingle(cfg Config, gen trace.Generator, pf PolicyFactory) Result {
 	core.ResetStats()
 	h.ResetStats()
 	llc.ResetStats()
+	measure := startMeasure()
 	runPhase(cfg.Measure)
 
 	instr := core.Instructions()
-	return Result{
+	res := Result{
 		Segment:      gen.Name(),
 		Instructions: instr,
 		Cycles:       core.Cycles(),
@@ -142,6 +212,8 @@ func RunSingle(cfg Config, gen trace.Generator, pf PolicyFactory) Result {
 		MPKI:         stats.MPKI(llc.Stats.DemandMisses+llc.Stats.PrefetchMisses, instr),
 		Bypasses:     llc.Stats.Bypasses,
 	}
+	measure(&res)
+	return res
 }
 
 // RunFastMPKI simulates a segment without the timing model, measuring only
@@ -153,22 +225,23 @@ func RunFastMPKI(cfg Config, gen trace.Generator, pf PolicyFactory) Result {
 	h := buildHierarchy(cfg, 0, llc)
 
 	gen.Reset()
-	var rec trace.Record
+	rd := &batchReader{gen: gen}
 	var instr uint64
 	for instr < cfg.Warmup {
-		gen.Next(&rec)
+		rec := rd.next()
 		h.Demand(rec.PC, rec.Addr, rec.IsWrite, instr)
 		instr += rec.Instructions()
 	}
 	h.ResetStats()
 	llc.ResetStats()
+	measure := startMeasure()
 	instr = 0
 	for instr < cfg.Measure {
-		gen.Next(&rec)
+		rec := rd.next()
 		h.Demand(rec.PC, rec.Addr, rec.IsWrite, instr)
 		instr += rec.Instructions()
 	}
-	return Result{
+	res := Result{
 		Segment:      gen.Name(),
 		Instructions: instr,
 		LLCAccesses:  llc.Stats.DemandAccesses + llc.Stats.PrefetchAccesses,
@@ -176,6 +249,8 @@ func RunFastMPKI(cfg Config, gen trace.Generator, pf PolicyFactory) Result {
 		MPKI:         stats.MPKI(llc.Stats.DemandMisses+llc.Stats.PrefetchMisses, instr),
 		Bypasses:     llc.Stats.Bypasses,
 	}
+	measure(&res)
+	return res
 }
 
 // newLRUFor builds LRU state for a cache size/ways pair (the fixed policy

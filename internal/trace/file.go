@@ -179,10 +179,24 @@ func (g *ReplayGenerator) Next(rec *Record) {
 	}
 }
 
+// NextBatch implements BatchGenerator: one bulk copy up to the wrap point.
+func (g *ReplayGenerator) NextBatch(recs []Record) int {
+	if len(recs) == 0 {
+		return 0
+	}
+	n := copy(recs, g.recs[g.pos:])
+	g.pos += n
+	if g.pos == len(g.recs) {
+		g.pos = 0
+		g.Wraps++
+	}
+	return n
+}
+
 // Reset implements Generator.
 func (g *ReplayGenerator) Reset() { g.pos = 0; g.Wraps = 0 }
 
 // Len returns the number of records in one pass of the trace.
 func (g *ReplayGenerator) Len() int { return len(g.recs) }
 
-var _ Generator = (*ReplayGenerator)(nil)
+var _ BatchGenerator = (*ReplayGenerator)(nil)

@@ -64,6 +64,23 @@ func (g *Gen) Next(rec *trace.Record) {
 	g.pos++
 }
 
+// NextBatch implements trace.BatchGenerator: the kernels already emit into
+// an internal buffer, so a batch is one bulk copy of whatever the buffer
+// holds. The record stream is identical to repeated Next calls.
+func (g *Gen) NextBatch(recs []trace.Record) int {
+	if len(recs) == 0 {
+		return 0
+	}
+	for g.pos >= len(g.buf) {
+		g.buf = g.buf[:0]
+		g.pos = 0
+		g.step()
+	}
+	n := copy(recs, g.buf[g.pos:])
+	g.pos += n
+	return n
+}
+
 // Reset implements trace.Generator.
 func (g *Gen) Reset() {
 	g.buf = g.buf[:0]
@@ -83,7 +100,7 @@ func (g *Gen) emit(pc, addr uint64, write bool) {
 	g.buf = append(g.buf, trace.Record{PC: pc, Addr: addr, IsWrite: write, NonMem: nm})
 }
 
-var _ trace.Generator = (*Gen)(nil)
+var _ trace.BatchGenerator = (*Gen)(nil)
 
 // pcBase derives a stable PC region for a named kernel instance from its
 // address base, keeping distinct kernels' PCs distinct.

@@ -1,0 +1,32 @@
+package workload
+
+import (
+	"testing"
+
+	"mpppb/internal/trace"
+)
+
+// BenchmarkGeneratorBatch measures trace-record delivery from a synthetic
+// generator: the per-record interface path versus the batched path the sim
+// drivers use. The metric of interest is ns per record.
+func BenchmarkGeneratorBatch(b *testing.B) {
+	b.Run("next", func(b *testing.B) {
+		g := NewGenerator(SegmentID{Bench: "gcc_like", Seg: 0}, 0)
+		var rec trace.Record
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.Next(&rec)
+		}
+	})
+	b.Run("batch256", func(b *testing.B) {
+		g := NewGenerator(SegmentID{Bench: "gcc_like", Seg: 0}, 0)
+		var buf [256]trace.Record
+		b.ReportAllocs()
+		b.ResetTimer()
+		n := 0
+		for n < b.N {
+			n += trace.FillBatch(g, buf[:])
+		}
+	})
+}

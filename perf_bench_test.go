@@ -1,0 +1,45 @@
+package mpppb
+
+// End-to-end hot-path benchmark: one fig6-style single-thread segment
+// through the full timing simulator. scripts/bench.sh runs this alongside
+// the microbenchmarks in internal/core and internal/workload and records
+// the accesses/sec trajectory in BENCH_<n>.json; docs/PERFORMANCE.md
+// explains the methodology.
+
+import (
+	"testing"
+
+	"mpppb/internal/sim"
+	"mpppb/internal/workload"
+)
+
+// BenchmarkEndToEndFig6Segment runs the gcc_like-0 segment (one of the
+// fig6 rows) under LRU and MPPPB and reports simulator throughput:
+// instructions and LLC accesses simulated per wall-clock second.
+func BenchmarkEndToEndFig6Segment(b *testing.B) {
+	for _, pol := range []string{"lru", "mpppb"} {
+		b.Run(pol, func(b *testing.B) {
+			cfg := sim.SingleThreadConfig()
+			cfg.Warmup = 200_000
+			cfg.Measure = 1_000_000
+			pf, err := sim.Policy(pol)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gen := workload.NewGenerator(workload.SegmentID{Bench: "gcc_like", Seg: 0}, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var instr, accesses uint64
+			for i := 0; i < b.N; i++ {
+				res := sim.RunSingle(cfg, gen, pf)
+				instr += res.Instructions
+				accesses += res.LLCAccesses
+			}
+			sec := b.Elapsed().Seconds()
+			if sec > 0 {
+				b.ReportMetric(float64(instr)/sec, "instr/s")
+				b.ReportMetric(float64(accesses)/sec, "LLCacc/s")
+			}
+		})
+	}
+}
