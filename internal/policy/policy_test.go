@@ -212,6 +212,59 @@ func TestDRRIPDuel(t *testing.T) {
 	}
 }
 
+func TestDRRIPLeaderAssignmentSmallCaches(t *testing.T) {
+	// Regression: the old stride arithmetic degenerated for sets below
+	// drripLeaders (stride clamped to 1 made every set an SRRIP leader, so
+	// PSEL only ever decremented) and for sets == 2*drripLeaders (no
+	// followers was fine, but any non-multiple miscounted). Every set count
+	// >= 2 must get exactly min(drripLeaders, sets/2) leaders per policy.
+	for _, sets := range []int{2, 4, 8, 16, 48, 64, 80, 1024, 2048} {
+		d := NewDRRIP(sets, 4, 1)
+		kinds := map[int]int{}
+		for s := 0; s < sets; s++ {
+			kinds[d.leaderKind(s)]++
+		}
+		want := drripLeaders
+		if sets/2 < want {
+			want = sets / 2
+		}
+		if kinds[0] != want || kinds[1] != want {
+			t.Fatalf("sets=%d: leader counts %v, want %d per policy", sets, kinds, want)
+		}
+		if kinds[2] != sets-2*want {
+			t.Fatalf("sets=%d: follower count %v", sets, kinds)
+		}
+	}
+}
+
+func TestDRRIPSmallCachePSELMovesBothWays(t *testing.T) {
+	// On a 4-set cache both leader kinds must exist so the duel can move
+	// PSEL in both directions (the old code had only SRRIP leaders here).
+	d := NewDRRIP(4, 4, 1)
+	srrip, brrip := -1, -1
+	for s := 0; s < 4; s++ {
+		switch d.leaderKind(s) {
+		case 0:
+			srrip = s
+		case 1:
+			brrip = s
+		}
+	}
+	if srrip < 0 || brrip < 0 {
+		t.Fatalf("missing leader kinds on 4 sets (srrip=%d brrip=%d)", srrip, brrip)
+	}
+	before := d.psel
+	d.Fill(srrip, 0, noAccess)
+	if d.psel >= before {
+		t.Fatal("SRRIP-leader miss did not decrement PSEL")
+	}
+	before = d.psel
+	d.Fill(brrip, 0, noAccess)
+	if d.psel <= before {
+		t.Fatal("BRRIP-leader miss did not increment PSEL")
+	}
+}
+
 func TestDRRIPVictimTerminates(t *testing.T) {
 	d := NewDRRIP(4, 4, 1)
 	for w := 0; w < 4; w++ {

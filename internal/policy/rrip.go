@@ -87,13 +87,13 @@ var _ cache.ReplacementPolicy = (*SRRIP)(nil)
 // for 1/32 of fills). Leader sets vote through a saturating policy-select
 // counter; follower sets use the winning insertion policy.
 type DRRIP struct {
-	ways       int
-	sets       int
-	rrpv       []uint8
-	psel       int // saturating counter; >= 0 means SRRIP is winning
-	pselMax    int
-	leaderMask int
-	rng        *xrand.RNG
+	ways    int
+	sets    int
+	rrpv    []uint8
+	kind    []uint8 // per-set leader classification, see leaderKinds
+	psel    int     // saturating counter; >= 0 means SRRIP is winning
+	pselMax int
+	rng     *xrand.RNG
 }
 
 // drripLeaders is the number of leader sets per policy.
@@ -105,6 +105,7 @@ func NewDRRIP(sets, ways int, seed uint64) *DRRIP {
 		ways:    ways,
 		sets:    sets,
 		rrpv:    make([]uint8, sets*ways),
+		kind:    leaderKinds(sets),
 		pselMax: 512,
 		rng:     xrand.New(seed),
 	}
@@ -114,22 +115,36 @@ func NewDRRIP(sets, ways int, seed uint64) *DRRIP {
 	return d
 }
 
-// leaderKind classifies a set: 0 = SRRIP leader, 1 = BRRIP leader,
-// 2 = follower. Leader sets are spread through the cache by taking sets
-// whose low bits select them, the usual complement-select arrangement.
-func (d *DRRIP) leaderKind(set int) int {
-	stride := d.sets / drripLeaders
-	if stride == 0 {
-		stride = 1
+// leaderKinds classifies every set: 0 = SRRIP leader, 1 = BRRIP leader,
+// 2 = follower. Each policy gets exactly min(drripLeaders, sets/2) leader
+// sets for any sets >= 2: SRRIP leaders spread evenly at floor(i*sets/n),
+// each paired BRRIP leader half a stride further — the usual
+// complement-select arrangement. Consecutive SRRIP leaders are at least
+// floor(sets/n) >= 2 apart and the BRRIP offset is in [1, stride-1], so
+// assignments never collide and the BRRIP leader stays in range.
+func leaderKinds(sets int) []uint8 {
+	kinds := make([]uint8, sets)
+	for i := range kinds {
+		kinds[i] = 2
 	}
-	if set%stride == 0 {
-		return 0
+	n := drripLeaders
+	if n > sets/2 {
+		n = sets / 2 // 1-set caches cannot duel; they follow PSEL's reset state
 	}
-	if set%stride == stride/2 {
-		return 1
+	stride := 0
+	if n > 0 {
+		stride = sets / n
 	}
-	return 2
+	for i := 0; i < n; i++ {
+		s := i * sets / n
+		kinds[s] = 0
+		kinds[s+stride/2] = 1
+	}
+	return kinds
 }
+
+// leaderKind returns the precomputed classification of a set.
+func (d *DRRIP) leaderKind(set int) int { return int(d.kind[set]) }
 
 // Name implements cache.ReplacementPolicy.
 func (d *DRRIP) Name() string { return "drrip" }
