@@ -1,0 +1,116 @@
+package sim
+
+// Regression tests for generator exhaustion: a finite, non-wrapping source
+// that runs dry mid-run must abort the run with a clear panic, never let
+// the batch cursor silently re-deliver stale buffer contents (the old
+// behavior re-simulated the last 256 records forever).
+
+import (
+	"strings"
+	"testing"
+
+	"mpppb/internal/trace"
+)
+
+// finiteGen yields `limit` synthetic records, then reports exhaustion (0
+// from NextBatch). It deliberately implements the batched path, the one
+// batchReader consumes.
+type finiteGen struct {
+	limit int
+	pos   int
+}
+
+func (g *finiteGen) Name() string { return "finite-test-gen" }
+func (g *finiteGen) Reset()       { g.pos = 0 }
+
+func (g *finiteGen) Next(rec *trace.Record) {
+	*rec = trace.Record{PC: uint64(g.pos)*4 + 0x1000, Addr: uint64(g.pos) * 64, NonMem: 3}
+	g.pos++
+}
+
+func (g *finiteGen) NextBatch(recs []trace.Record) int {
+	n := g.limit - g.pos
+	if n <= 0 {
+		return 0
+	}
+	if n > len(recs) {
+		n = len(recs)
+	}
+	for i := 0; i < n; i++ {
+		g.Next(&recs[i])
+	}
+	return n
+}
+
+// wantExhaustPanic runs fn and requires the exhaustion panic.
+func wantExhaustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("run on an exhausted generator did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "exhausted") || !strings.Contains(msg, "finite-test-gen") {
+			t.Fatalf("panic %v, want exhaustion message naming the generator", r)
+		}
+	}()
+	fn()
+}
+
+func exhaustCfg() Config {
+	cfg := shortCfg()
+	cfg.Warmup, cfg.Measure = 10_000, 40_000 // far more than 1000 records provide
+	return cfg
+}
+
+func TestRunSingleExhaustedGeneratorPanics(t *testing.T) {
+	pf, err := Policy("lru")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantExhaustPanic(t, func() { RunSingle(exhaustCfg(), &finiteGen{limit: 1000}, pf) })
+}
+
+func TestRunFastMPKIExhaustedGeneratorPanics(t *testing.T) {
+	pf, err := Policy("lru")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantExhaustPanic(t, func() { RunFastMPKI(exhaustCfg(), &finiteGen{limit: 1000}, pf) })
+}
+
+func TestRunROCExhaustedGeneratorPanics(t *testing.T) {
+	cf, err := Confidence("mpppb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantExhaustPanic(t, func() { RunROC(exhaustCfg(), &finiteGen{limit: 1000}, cf) })
+}
+
+func TestBatchReaderDeliversFullFiniteStream(t *testing.T) {
+	// Short of exhaustion the cursor must deliver the source's exact
+	// per-record stream across refills.
+	g := &finiteGen{limit: 600}
+	rd := &batchReader{gen: g}
+	for i := 0; i < 600; i++ {
+		rec := rd.next()
+		if rec.Addr != uint64(i)*64 {
+			t.Fatalf("record %d: addr %#x, want %#x", i, rec.Addr, uint64(i)*64)
+		}
+	}
+}
+
+func TestFillBatchReportsExhaustion(t *testing.T) {
+	g := &finiteGen{limit: 10}
+	buf := make([]trace.Record, 8)
+	if n := trace.FillBatch(g, buf); n != 8 {
+		t.Fatalf("first fill %d, want 8", n)
+	}
+	if n := trace.FillBatch(g, buf); n != 2 {
+		t.Fatalf("second fill %d, want 2", n)
+	}
+	if n := trace.FillBatch(g, buf); n != 0 {
+		t.Fatalf("exhausted fill %d, want 0", n)
+	}
+}

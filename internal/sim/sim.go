@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"fmt"
 	"runtime"
 	"time"
 
@@ -138,10 +139,18 @@ type batchReader struct {
 }
 
 // next returns the next record; the pointer is valid until the following
-// call.
+// call. An exhausted generator (trace.FillBatch returning 0: a finite,
+// non-wrapping source that ran dry mid-run) is a panic rather than a
+// silent replay of stale buffer contents; all four drivers read through
+// this cursor, so the panic surfaces as an explicit run failure — under
+// the experiment engine, a captured *parallel.PanicError on that one cell
+// — never as corrupted statistics.
 func (r *batchReader) next() *trace.Record {
 	if r.pos >= r.n {
 		r.n = trace.FillBatch(r.gen, r.buf[:])
+		if r.n == 0 {
+			panic(fmt.Sprintf("sim: generator %q exhausted mid-run (FillBatch returned 0); the run needs more records than the source holds", r.gen.Name()))
+		}
 		r.pos = 0
 	}
 	rec := &r.buf[r.pos]
