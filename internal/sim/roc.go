@@ -120,18 +120,24 @@ func RunROC(cfg Config, gen trace.Generator, cf ConfidenceFactory) []stats.ROCSa
 
 	gen.Reset()
 	rd := &batchReader{gen: gen}
-	var instr uint64
+	// As in RunFastMPKI, the instruction clock is monotonic across the
+	// warmup→measure boundary; only the loop bound resets.
+	var now, instr uint64
 	for instr < cfg.Warmup {
 		rec := rd.next()
-		h.Demand(rec.PC, rec.Addr, rec.IsWrite, instr)
-		instr += rec.Instructions()
+		h.Demand(rec.PC, rec.Addr, rec.IsWrite, now)
+		n := rec.Instructions()
+		now += n
+		instr += n
 	}
 	probe.samples = probe.samples[:0]
 	instr = 0
 	for instr < cfg.Measure {
 		rec := rd.next()
-		h.Demand(rec.PC, rec.Addr, rec.IsWrite, instr)
-		instr += rec.Instructions()
+		h.Demand(rec.PC, rec.Addr, rec.IsWrite, now)
+		n := rec.Instructions()
+		now += n
+		instr += n
 	}
 	return probe.samples
 }

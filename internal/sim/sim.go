@@ -226,20 +226,29 @@ func RunSingle(cfg Config, gen trace.Generator, pf PolicyFactory) Result {
 }
 
 // RunFastMPKI simulates a segment without the timing model, measuring only
-// LLC demand MPKI. This is the "fast simulator that only measures average
-// MPKI" used for the feature search (Section 5.1); it is several times
-// faster than RunSingle.
+// LLC MPKI (demand plus prefetch misses, the paper-style accounting — the
+// same counters RunSingle reports). This is the "fast simulator that only
+// measures average MPKI" used for the feature search (Section 5.1); it is
+// several times faster than RunSingle.
+//
+// Untimed runs use the instruction count as the clock passed to the
+// hierarchy. The counter is monotonic across the warmup→measure boundary —
+// resetting it would jump "now" backward and confuse timestamp-ordered
+// state (the prefetcher's stream LRU, the sampler) — while a separate
+// per-phase counter bounds each loop.
 func RunFastMPKI(cfg Config, gen trace.Generator, pf PolicyFactory) Result {
 	llc := NewLLC(cfg, pf)
 	h := buildHierarchy(cfg, 0, llc)
 
 	gen.Reset()
 	rd := &batchReader{gen: gen}
-	var instr uint64
+	var now, instr uint64
 	for instr < cfg.Warmup {
 		rec := rd.next()
-		h.Demand(rec.PC, rec.Addr, rec.IsWrite, instr)
-		instr += rec.Instructions()
+		h.Demand(rec.PC, rec.Addr, rec.IsWrite, now)
+		n := rec.Instructions()
+		now += n
+		instr += n
 	}
 	h.ResetStats()
 	llc.ResetStats()
@@ -247,8 +256,10 @@ func RunFastMPKI(cfg Config, gen trace.Generator, pf PolicyFactory) Result {
 	instr = 0
 	for instr < cfg.Measure {
 		rec := rd.next()
-		h.Demand(rec.PC, rec.Addr, rec.IsWrite, instr)
-		instr += rec.Instructions()
+		h.Demand(rec.PC, rec.Addr, rec.IsWrite, now)
+		n := rec.Instructions()
+		now += n
+		instr += n
 	}
 	res := Result{
 		Segment:      gen.Name(),
