@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-hotpath bench-record experiments results cover clean
+.PHONY: all build test vet race bench bench-hotpath bench-record experiments results resume-smoke cover clean
 
 all: build test
 
@@ -39,6 +39,11 @@ bench-record:
 # Raise -warmup/-measure/-mixes for tighter numbers (slower).
 results:
 	$(GO) run ./cmd/mpppb-experiments -id all -out results
+
+# End-to-end crash recovery: interrupt a journaled campaign with SIGINT,
+# resume it, and require byte-identical TSVs (see scripts/resume_smoke.sh).
+resume-smoke:
+	scripts/resume_smoke.sh
 
 cover:
 	$(GO) test -cover ./...

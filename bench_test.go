@@ -50,7 +50,10 @@ func benchMixes(n int) []workload.Mix {
 // speedup over LRU for Hawkeye, Perceptron, MPPPB, and MIN.
 func BenchmarkFig6SingleThreadSpeedup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := experiments.SingleThread(benchST(), experiments.DefaultSingleThreadPolicies(), benchBenches, nil)
+		t, err := experiments.SingleThread(benchST(), experiments.DefaultSingleThreadPolicies(), benchBenches, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(t.GeomeanSpeedup["hawkeye"], "hawkeye-geomean")
 		b.ReportMetric(t.GeomeanSpeedup["perceptron"], "perceptron-geomean")
 		b.ReportMetric(t.GeomeanSpeedup["mpppb"], "mpppb-geomean")
@@ -61,7 +64,10 @@ func BenchmarkFig6SingleThreadSpeedup(b *testing.B) {
 // BenchmarkFig7SingleThreadMPKI reproduces Figure 7: single-thread MPKI.
 func BenchmarkFig7SingleThreadMPKI(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := experiments.SingleThread(benchST(), experiments.DefaultSingleThreadPolicies(), benchBenches, nil)
+		t, err := experiments.SingleThread(benchST(), experiments.DefaultSingleThreadPolicies(), benchBenches, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(t.MeanMPKI["lru"], "lru-mpki")
 		b.ReportMetric(t.MeanMPKI["perceptron"], "perceptron-mpki")
 		b.ReportMetric(t.MeanMPKI["mpppb"], "mpppb-mpki")
@@ -74,7 +80,10 @@ func BenchmarkFig7SingleThreadMPKI(b *testing.B) {
 func BenchmarkFig4MultiCoreSpeedup(b *testing.B) {
 	mixes := benchMixes(6)
 	for i := 0; i < b.N; i++ {
-		t := experiments.MultiCore(benchMC(), experiments.DefaultMultiCorePolicies(), mixes, nil)
+		t, err := experiments.MultiCore(benchMC(), experiments.DefaultMultiCorePolicies(), mixes, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(t.GeomeanSpeedup["hawkeye"], "hawkeye-ws")
 		b.ReportMetric(t.GeomeanSpeedup["perceptron"], "perceptron-ws")
 		b.ReportMetric(t.GeomeanSpeedup["mpppb-srrip"], "mpppb-ws")
@@ -86,7 +95,10 @@ func BenchmarkFig4MultiCoreSpeedup(b *testing.B) {
 func BenchmarkFig5MultiCoreMPKI(b *testing.B) {
 	mixes := benchMixes(6)
 	for i := 0; i < b.N; i++ {
-		t := experiments.MultiCore(benchMC(), experiments.DefaultMultiCorePolicies(), mixes, nil)
+		t, err := experiments.MultiCore(benchMC(), experiments.DefaultMultiCorePolicies(), mixes, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(t.MeanMPKI["lru"], "lru-mpki")
 		b.ReportMetric(t.MeanMPKI["perceptron"], "perceptron-mpki")
 		b.ReportMetric(t.MeanMPKI["mpppb-srrip"], "mpppb-mpki")
@@ -102,7 +114,10 @@ func BenchmarkFig8ROC(b *testing.B) {
 		{Bench: "data_caching_like", Seg: 0}, {Bench: "omnetpp_like", Seg: 0},
 	}
 	for i := 0; i < b.N; i++ {
-		t := experiments.ROCCurves(benchST(), nil, segs, nil)
+		t, err := experiments.ROCCurves(benchST(), nil, segs, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(t.TPRAt30["sdbp"], "sdbp-tpr@30")
 		b.ReportMetric(t.TPRAt30["perceptron"], "perceptron-tpr@30")
 		b.ReportMetric(t.TPRAt30["mpppb"], "mpppb-tpr@30")
@@ -118,7 +133,10 @@ func BenchmarkFig3FeatureSearch(b *testing.B) {
 	cfg.Measure = 400_000
 	training := experiments.TrainingSegments(4)
 	for i := 0; i < b.N; i++ {
-		res := experiments.Fig3FeatureSearch(cfg, training, 6, 6, 2017, nil)
+		res, err := experiments.Fig3FeatureSearch(cfg, training, 6, 6, 2017, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(res.LRUMPKI, "lru-mpki")
 		b.ReportMetric(res.BestRandom.MPKI, "best-random-mpki")
 		b.ReportMetric(res.HillClimbed.MPKI, "climbed-mpki")
@@ -223,7 +241,10 @@ func BenchmarkTable3FeatureBenefit(b *testing.B) {
 		{Bench: "gcc_like", Seg: 0}, {Bench: "sphinx3_like", Seg: 0}, {Bench: "mlpack_cf_like", Seg: 0},
 	}
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Table3FeatureBenefit(cfg, feats, segs, nil)
+		rows, err := experiments.Table3FeatureBenefit(cfg, feats, segs, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
 		best := 0.0
 		for _, r := range rows {
 			if r.PctIncrease > best {

@@ -15,25 +15,42 @@
 // GOMAXPROCS; -j 1 forces the serial path). Results are merged in input
 // order and shared baselines are single-flight, so the TSV output is
 // byte-identical at every -j — parallelism only changes wall-clock time.
+//
+// Long sweeps can checkpoint with -journal FILE: every completed cell is
+// appended to the file as it finishes, and after an interrupt (Ctrl-C, a
+// crash, a timeout) re-running with -journal FILE -resume skips the
+// completed cells and recomputes only the rest, emitting byte-identical
+// TSVs. -task-timeout and -retries bound and retry individual cells; a
+// cell that fails permanently renders as NaN in its table and the tool
+// exits 3 after listing the failures.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
 
 	"mpppb/internal/core"
 	"mpppb/internal/experiments"
+	"mpppb/internal/journal"
 	"mpppb/internal/parallel"
 	"mpppb/internal/plot"
 	"mpppb/internal/prof"
 	"mpppb/internal/sim"
 	"mpppb/internal/workload"
 )
+
+// fig3Seed is the fixed RNG seed of the fig3 feature search; part of the
+// journal fingerprint because it determines the search's proposal
+// sequence.
+const fig3Seed = 2017
 
 type runner struct {
 	stCfg, mcCfg sim.Config
@@ -44,8 +61,10 @@ type runner struct {
 	climbSteps   int
 	rocSegs      int
 	table3Segs   int
-	progress     experiments.Progress
-	plot         bool
+	// opts carries cancellation, checkpointing, fault handling and
+	// progress into every experiment; nil means all defaults.
+	opts *experiments.Run
+	plot bool
 	stPolicies   []string
 	mcPolicies   []string
 	// stBenches restricts fig6/fig7 to a benchmark subset (nil = full
@@ -56,6 +75,25 @@ type runner struct {
 	// regenerating multiple experiments in one invocation.
 	stTable *experiments.SingleThreadTable
 	mcTable *experiments.MultiCoreTable
+}
+
+// fingerprintConfig is everything that shapes the cell grid and the cell
+// values; hashed into the journal fingerprint so -resume refuses a
+// journal written under different settings.
+type fingerprintConfig struct {
+	Tool       string   `json:"tool"`
+	Warmup     uint64   `json:"warmup"`
+	Measure    uint64   `json:"measure"`
+	Mixes      int      `json:"mixes"`
+	Ablate     int      `json:"ablate_mixes"`
+	Random     int      `json:"random"`
+	Climb      int      `json:"climb"`
+	ROCSegs    int      `json:"roc_segments"`
+	T3Segs     int      `json:"table3_segments"`
+	STPolicies []string `json:"st_policies"`
+	MCPolicies []string `json:"mc_policies"`
+	Benches    []string `json:"benches"`
+	Fig3Seed   uint64   `json:"fig3_seed"`
 }
 
 // chart writes an ASCII chart as TSV comment lines when -plot is set.
@@ -87,6 +125,7 @@ func main() {
 		benches = flag.String("benches", "", "restrict fig6/fig7 to these benchmarks (comma-separated)")
 		j       = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for independent runs (1 = serial; output is identical at any -j)")
 	)
+	jf := journal.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	defer prof.Start()()
 	parallel.SetDefault(*j)
@@ -124,8 +163,46 @@ func main() {
 			}
 		}
 	}
+	fp := journal.Fingerprint{
+		Config: journal.ConfigHash(fingerprintConfig{
+			Tool:       "mpppb-experiments",
+			Warmup:     *warmup,
+			Measure:    *measure,
+			Mixes:      *mixes,
+			Ablate:     *ablate,
+			Random:     *nRandom,
+			Climb:      *climb,
+			ROCSegs:    *rocSegs,
+			T3Segs:     *t3Segs,
+			STPolicies: r.stPolicies,
+			MCPolicies: r.mcPolicies,
+			Benches:    r.stBenches,
+			Fig3Seed:   fig3Seed,
+		}),
+		Version: journal.BuildVersion(),
+		Seed:    int64(workload.DefaultMixSeed),
+	}
+	jrnl, err := jf.Open(fp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpppb-experiments: %v\n", err)
+		os.Exit(1)
+	}
+	defer jrnl.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	r.opts = &experiments.Run{
+		Ctx:         ctx,
+		Journal:     jrnl,
+		Retries:     jf.Retries,
+		TaskTimeout: jf.Timeout,
+		// Keep going past a permanently failed cell: the tables render its
+		// slots as NaN and the tool exits 3 after reporting the failures.
+		KeepGoing: true,
+	}
 	if !*quiet {
-		r.progress = func(format string, args ...any) {
+		r.opts.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
@@ -137,9 +214,26 @@ func main() {
 	}
 	for _, one := range ids {
 		if err := r.run(one); err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "mpppb-experiments: interrupted")
+				if jf.Path != "" {
+					fmt.Fprintf(os.Stderr, "; completed cells are saved — re-run with -journal %s -resume to continue", jf.Path)
+				} else {
+					fmt.Fprintf(os.Stderr, " (hint: -journal FILE makes runs resumable)")
+				}
+				fmt.Fprintln(os.Stderr)
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "mpppb-experiments: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if failures := r.opts.Failures(); len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "mpppb-experiments: %d cell(s) failed permanently; their table entries are NaN:\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  FAILED %s: %v\n", f.Key, f.Err)
+		}
+		os.Exit(3)
 	}
 }
 
@@ -169,7 +263,10 @@ func (r *runner) run(id string) error {
 	switch id {
 	case "fig3":
 		seg := experiments.TrainingSegments(8)
-		res := experiments.Fig3FeatureSearch(r.stCfg, seg, r.nRandom, r.climbSteps, 2017, r.progress)
+		res, err := experiments.Fig3FeatureSearch(r.stCfg, seg, r.nRandom, r.climbSteps, fig3Seed, r.opts)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(w, "# Figure 3: feature search. references: LRU=%.3f MIN=%.3f hill-climbed=%.3f paper-set=%.3f (training MPKI, %d evaluations)\n",
 			res.LRUMPKI, res.MINMPKI, res.HillClimbed.MPKI, res.PaperSetMPKI, res.Evaluations)
 		fmt.Fprintln(w, "rank\trandom_set_mpki")
@@ -182,7 +279,10 @@ func (r *runner) run(id string) error {
 		}
 
 	case "fig4", "fig5":
-		t := r.multiTable()
+		t, err := r.multiTable()
+		if err != nil {
+			return err
+		}
 		if id == "fig4" {
 			fmt.Fprintf(w, "# Figure 4: normalized weighted speedup, %d mixes. geomeans:", len(t.Mixes))
 			for _, p := range t.Policies {
@@ -233,7 +333,10 @@ func (r *runner) run(id string) error {
 		}
 
 	case "fig6", "fig7":
-		t := r.singleTable()
+		t, err := r.singleTable()
+		if err != nil {
+			return err
+		}
 		cols := t.AllSingleThreadPolicies()
 		if id == "fig6" {
 			fmt.Fprintf(w, "# Figure 6: single-thread speedup over LRU. geomeans:")
@@ -277,7 +380,10 @@ func (r *runner) run(id string) error {
 
 	case "fig8", "fig1":
 		segs := workload.Segments()[:min(r.rocSegs, len(workload.Segments()))]
-		t := experiments.ROCCurves(r.stCfg, nil, segs, r.progress)
+		t, err := experiments.ROCCurves(r.stCfg, nil, segs, r.opts)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(w, "# Figure 8: ROC curves. AUC:")
 		for _, p := range t.Predictors {
 			fmt.Fprintf(w, " %s=%.4f(TPR@30%%FPR=%.3f)", p, t.AUC[p], t.TPRAt30[p])
@@ -302,7 +408,10 @@ func (r *runner) run(id string) error {
 
 	case "fig9":
 		mixes := experiments.TestingMixes(workload.Mixes(r.ablateMixes*10, workload.DefaultMixSeed))[:r.ablateMixes]
-		res := experiments.Fig9UniformAssociativity(r.mcCfg, mixes, r.progress)
+		res, err := experiments.Fig9UniformAssociativity(r.mcCfg, mixes, r.opts)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(w, "# Figure 9: uniform associativity, %d mixes. original(variable A)=%.4f\n", len(mixes), res.OriginalWS)
 		fmt.Fprintln(w, "A\tweighted_speedup")
 		for a, ws := range res.UniformWS {
@@ -313,7 +422,10 @@ func (r *runner) run(id string) error {
 
 	case "fig10":
 		mixes := experiments.TestingMixes(workload.Mixes(r.ablateMixes*10, workload.DefaultMixSeed))[:r.ablateMixes]
-		res := experiments.Fig10FeatureAblation(r.mcCfg, nil, mixes, r.progress)
+		res, err := experiments.Fig10FeatureAblation(r.mcCfg, nil, mixes, r.opts)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(w, "# Figure 10: leave-one-feature-out over Table 1(a), %d mixes. original=%.4f\n", len(mixes), res.OriginalWS)
 		fmt.Fprintln(w, "feature_omitted\tweighted_speedup")
 		labels := make([]string, len(res.Features))
@@ -344,7 +456,10 @@ func (r *runner) run(id string) error {
 		if r.table3Segs < len(segs) {
 			segs = segs[:r.table3Segs]
 		}
-		rows := experiments.Table3FeatureBenefit(r.stCfg, nil, segs, r.progress)
+		rows, err := experiments.Table3FeatureBenefit(r.stCfg, nil, segs, r.opts)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintln(w, "# Table 3: per-feature best segment (leave-one-out, Table 1(b) features)")
 		fmt.Fprintln(w, "feature\tsegment\tmpki_with\tmpki_without\tpct_increase")
 		for _, row := range rows {
@@ -358,20 +473,28 @@ func (r *runner) run(id string) error {
 	return nil
 }
 
-func (r *runner) singleTable() *experiments.SingleThreadTable {
+func (r *runner) singleTable() (*experiments.SingleThreadTable, error) {
 	if r.stTable == nil {
-		r.stTable = experiments.SingleThread(r.stCfg, r.stPolicies, r.stBenches, r.progress)
+		t, err := experiments.SingleThread(r.stCfg, r.stPolicies, r.stBenches, r.opts)
+		if err != nil {
+			return nil, err
+		}
+		r.stTable = t
 	}
-	return r.stTable
+	return r.stTable, nil
 }
 
-func (r *runner) multiTable() *experiments.MultiCoreTable {
+func (r *runner) multiTable() (*experiments.MultiCoreTable, error) {
 	mixes := experiments.TestingMixes(workload.Mixes(r.mixCount*10/9+1, workload.DefaultMixSeed))
 	if len(mixes) > r.mixCount {
 		mixes = mixes[:r.mixCount]
 	}
 	if r.mcTable == nil {
-		r.mcTable = experiments.MultiCore(r.mcCfg, r.mcPolicies, mixes, r.progress)
+		t, err := experiments.MultiCore(r.mcCfg, r.mcPolicies, mixes, r.opts)
+		if err != nil {
+			return nil, err
+		}
+		r.mcTable = t
 	}
-	return r.mcTable
+	return r.mcTable, nil
 }

@@ -5,16 +5,23 @@
 //
 //	mpppb-roc -bench gcc_like -seg 1 -predictor mpppb
 //	mpppb-roc -bench all -predictor sdbp,perceptron,mpppb -summary
+//
+// Suite-wide extractions can checkpoint with -journal FILE; -resume
+// replays the per-segment sample sets already on disk.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 
 	"mpppb"
+	"mpppb/internal/journal"
 	"mpppb/internal/parallel"
 	"mpppb/internal/prof"
 	"mpppb/internal/sim"
@@ -32,6 +39,7 @@ func main() {
 		summary    = flag.Bool("summary", false, "print only AUC and band TPRs")
 		j          = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for independent runs (1 = serial)")
 	)
+	jf := journal.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	defer prof.Start()()
 	parallel.SetDefault(*j)
@@ -56,20 +64,69 @@ func main() {
 		os.Exit(1)
 	}
 
+	type fingerprintConfig struct {
+		Tool    string `json:"tool"`
+		Warmup  uint64 `json:"warmup"`
+		Measure uint64 `json:"measure"`
+	}
+	jrnl, err := jf.Open(journal.Fingerprint{
+		Config: journal.ConfigHash(fingerprintConfig{
+			Tool:    "mpppb-roc",
+			Warmup:  *warmup,
+			Measure: *measure,
+		}),
+		Version: journal.BuildVersion(),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpppb-roc: %v\n", err)
+		os.Exit(1)
+	}
+	defer jrnl.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	exit := 0
 	for _, pred := range strings.Split(*predictors, ",") {
 		pred = strings.TrimSpace(pred)
 		// Segments fan across the pool; samples pool in segment order, so
 		// the curve matches a serial run exactly.
-		perSeg, err := parallel.Map(0, len(ids), func(i int) ([]stats.ROCSample, error) {
-			return mpppb.ROCSamples(cfg, ids[i], pred)
+		opts := parallel.RunOpts{Retries: jf.Retries, Timeout: jf.Timeout, KeepGoing: true}
+		perSeg, segErrs, err := parallel.MapErr(ctx, opts, len(ids), func(ctx context.Context, i int) (stats.PackedROC, error) {
+			key := "roc/" + pred + "/" + ids[i].String()
+			var packed stats.PackedROC
+			if hit, err := jrnl.Load(key, &packed); err != nil {
+				return stats.PackedROC{}, err
+			} else if hit {
+				return packed, nil
+			}
+			samples, err := mpppb.ROCSamples(cfg, ids[i], pred)
+			if err != nil {
+				return stats.PackedROC{}, err
+			}
+			packed = stats.PackROC(samples)
+			return packed, jrnl.Record(key, packed)
 		})
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "mpppb-roc: interrupted")
+				if jf.Path != "" {
+					fmt.Fprintf(os.Stderr, "mpppb-roc: completed segments saved; re-run with -journal %s -resume to continue\n", jf.Path)
+				}
+				os.Exit(130)
+			}
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		var pool []stats.ROCSample
-		for _, samples := range perSeg {
-			pool = append(pool, samples...)
+		for i, packed := range perSeg {
+			if segErrs[i] != nil {
+				fmt.Fprintf(os.Stderr, "FAILED roc/%s/%s: %v\n", pred, ids[i], segErrs[i])
+				jrnl.RecordFailure("roc/"+pred+"/"+ids[i].String(), segErrs[i])
+				exit = 3
+				continue
+			}
+			pool = append(pool, packed.Unpack()...)
 		}
 		curve := stats.ROC(pool)
 		fmt.Printf("# %s: %d samples, AUC=%.4f TPR@25%%=%.3f TPR@30%%=%.3f\n",
@@ -82,5 +139,9 @@ func main() {
 		for _, p := range curve {
 			fmt.Printf("%d\t%.4f\t%.4f\n", p.Threshold, p.FPR, p.TPR)
 		}
+	}
+	if exit != 0 {
+		fmt.Fprintln(os.Stderr, "mpppb-roc: some segments failed; their samples are missing from the pooled curves")
+		os.Exit(exit)
 	}
 }

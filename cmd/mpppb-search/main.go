@@ -6,15 +6,24 @@
 //
 //	mpppb-search -random 100 -climb 200 -training 12
 //	mpppb-search -random 40 -seed 7 -measure 2000000
+//
+// Long searches checkpoint with -journal FILE: every feature set's
+// evaluation is persisted as it completes, and -resume replays them so an
+// interrupted search (the proposal sequence is seeded, hence repeatable)
+// continues where it stopped.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 
 	"mpppb/internal/experiments"
+	"mpppb/internal/journal"
 	"mpppb/internal/parallel"
 	"mpppb/internal/prof"
 	"mpppb/internal/sim"
@@ -31,6 +40,7 @@ func main() {
 		quiet    = flag.Bool("q", false, "suppress progress output")
 		j        = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines; each feature-set evaluation fans its training segments across them (1 = serial)")
 	)
+	jf := journal.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	defer prof.Start()()
 	parallel.SetDefault(*j)
@@ -38,15 +48,52 @@ func main() {
 	cfg := sim.SingleThreadConfig()
 	cfg.Warmup, cfg.Measure = *warmup, *measure
 
-	var progress experiments.Progress
+	type fingerprintConfig struct {
+		Tool     string `json:"tool"`
+		Random   int    `json:"random"`
+		Climb    int    `json:"climb"`
+		Training int    `json:"training"`
+		Warmup   uint64 `json:"warmup"`
+		Measure  uint64 `json:"measure"`
+	}
+	jrnl, err := jf.Open(journal.Fingerprint{
+		Config: journal.ConfigHash(fingerprintConfig{
+			Tool:     "mpppb-search",
+			Random:   *nRandom,
+			Climb:    *climb,
+			Training: *training,
+			Warmup:   *warmup,
+			Measure:  *measure,
+		}),
+		Version: journal.BuildVersion(),
+		Seed:    int64(*seed),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpppb-search: %v\n", err)
+		os.Exit(1)
+	}
+	defer jrnl.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := &experiments.Run{Ctx: ctx, Journal: jrnl, Retries: jf.Retries, TaskTimeout: jf.Timeout}
 	if !*quiet {
-		progress = func(format string, args ...any) {
+		opts.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
 
-	res := experiments.Fig3FeatureSearch(cfg, experiments.TrainingSegments(*training),
-		*nRandom, *climb, *seed, progress)
+	res, err := experiments.Fig3FeatureSearch(cfg, experiments.TrainingSegments(*training),
+		*nRandom, *climb, *seed, opts)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "mpppb-search: interrupted; re-run with the same flags plus -resume to continue")
+			os.Exit(130)
+		}
+		fmt.Fprintf(os.Stderr, "mpppb-search: %v\n", err)
+		os.Exit(1)
+	}
 
 	fmt.Printf("random sets evaluated: %d (training MPKI %.3f worst .. %.3f best)\n",
 		len(res.RandomMPKI), res.RandomMPKI[0], res.RandomMPKI[len(res.RandomMPKI)-1])

@@ -6,17 +6,26 @@
 //	mpppb-sim -bench mcf_like -policy lru,mpppb
 //	mpppb-sim -bench all -policy lru,hawkeye,perceptron,mpppb -measure 4000000
 //	mpppb-sim -bench libquantum_like -seg 1 -policy min
+//
+// Large sweeps (-bench all with many policies) can checkpoint with
+// -journal FILE; -resume skips the (segment, policy) runs already on
+// disk. Failed runs print NA cells and exit non-zero instead of aborting
+// the whole grid.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 	"text/tabwriter"
 
 	"mpppb"
+	"mpppb/internal/journal"
 	"mpppb/internal/parallel"
 	"mpppb/internal/prof"
 	"mpppb/internal/sim"
@@ -34,6 +43,7 @@ func main() {
 		verbose  = flag.Bool("v", false, "after mpppb runs, print decision counters and per-feature weight statistics")
 		j        = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for independent runs (1 = serial)")
 	)
+	jf := journal.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	defer prof.Start()()
 	parallel.SetDefault(*j)
@@ -71,6 +81,30 @@ func main() {
 		}
 	}
 
+	type fingerprintConfig struct {
+		Tool    string `json:"tool"`
+		Warmup  uint64 `json:"warmup"`
+		Measure uint64 `json:"measure"`
+		Verbose bool   `json:"verbose"`
+	}
+	jrnl, err := jf.Open(journal.Fingerprint{
+		Config: journal.ConfigHash(fingerprintConfig{
+			Tool:    "mpppb-sim",
+			Warmup:  *warmup,
+			Measure: *measure,
+			Verbose: *verbose,
+		}),
+		Version: journal.BuildVersion(),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpppb-sim: %v\n", err)
+		os.Exit(1)
+	}
+	defer jrnl.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	// Every (segment, policy) run is independent: fan the grid across the
 	// worker pool, then print rows in grid order so output is identical at
 	// any -j.
@@ -87,34 +121,73 @@ func main() {
 		}
 	}
 	type rowInfo struct {
-		res  mpppb.Result
-		info string
+		Res  mpppb.Result `json:"res"`
+		Info string       `json:"info,omitempty"`
 	}
-	rows, err := parallel.Map(0, len(jobs), func(i int) (rowInfo, error) {
+	opts := parallel.RunOpts{Retries: jf.Retries, Timeout: jf.Timeout, KeepGoing: true}
+	rows, rowErrs, err := parallel.MapErr(ctx, opts, len(jobs), func(ctx context.Context, i int) (rowInfo, error) {
 		jb := jobs[i]
+		key := "sim/" + jb.id.String() + "/" + jb.pname
+		var row rowInfo
+		if hit, err := jrnl.Load(key, &row); err != nil {
+			return rowInfo{}, err
+		} else if hit {
+			return row, nil
+		}
 		if *verbose && strings.HasPrefix(jb.pname, "mpppb") {
 			res, info, err := mpppb.RunVerbose(cfg, jb.id, jb.pname)
-			return rowInfo{res: res, info: info}, err
+			if err != nil {
+				return rowInfo{}, err
+			}
+			row = rowInfo{Res: res, Info: info}
+		} else {
+			res, err := mpppb.Run(cfg, jb.id, jb.pname)
+			if err != nil {
+				return rowInfo{}, err
+			}
+			row = rowInfo{Res: res}
 		}
-		res, err := mpppb.Run(cfg, jb.id, jb.pname)
-		return rowInfo{res: res}, err
+		return row, jrnl.Record(key, row)
 	})
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "mpppb-sim: interrupted")
+			if jf.Path != "" {
+				fmt.Fprintf(os.Stderr, "mpppb-sim: completed runs saved; re-run with -journal %s -resume to continue\n", jf.Path)
+			}
+			os.Exit(130)
+		}
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(1)
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
 	fmt.Fprintln(w, "segment\tpolicy\tIPC\tMPKI\tLLC misses\tbypasses")
+	failed := 0
 	for i, jb := range jobs {
-		res := rows[i].res
+		if rowErrs[i] != nil {
+			failed++
+			fmt.Fprintf(w, "%s\t%s\tNA\tNA\tNA\tNA\n", jb.id, jb.pname)
+			continue
+		}
+		res := rows[i].Res
 		fmt.Fprintf(w, "%s\t%s\t%.3f\t%.2f\t%d\t%d\n",
 			jb.id, jb.pname, res.IPC, res.MPKI, res.LLCMisses, res.Bypasses)
 	}
 	w.Flush()
 	for i, jb := range jobs {
-		if rows[i].info != "" {
-			fmt.Fprintf(os.Stderr, "\n--- %s on %s ---\n%s", jb.pname, jb.id, rows[i].info)
+		if rowErrs[i] == nil && rows[i].Info != "" {
+			fmt.Fprintf(os.Stderr, "\n--- %s on %s ---\n%s", jb.pname, jb.id, rows[i].Info)
 		}
+	}
+	if failed > 0 {
+		for i, jb := range jobs {
+			if rowErrs[i] != nil {
+				fmt.Fprintf(os.Stderr, "FAILED %s/%s: %v\n", jb.id, jb.pname, rowErrs[i])
+				jrnl.RecordFailure("sim/"+jb.id.String()+"/"+jb.pname, rowErrs[i])
+			}
+		}
+		fmt.Fprintf(os.Stderr, "mpppb-sim: %d of %d runs failed (NA cells above)\n", failed, len(jobs))
+		os.Exit(3)
 	}
 }

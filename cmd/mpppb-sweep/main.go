@@ -5,16 +5,23 @@
 //
 //	mpppb-sweep -bench sphinx3_like -policy lru,mpppb,min
 //	mpppb-sweep -bench gcc_like -dim mem -policy lru,mpppb
+//
+// Sweeps checkpoint with -journal FILE; -resume skips the grid cells
+// already on disk. Failed cells print NA and the sweep exits non-zero.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 
 	"mpppb"
+	"mpppb/internal/journal"
 	"mpppb/internal/parallel"
 	"mpppb/internal/prof"
 	"mpppb/internal/sim"
@@ -31,6 +38,7 @@ func main() {
 		measure  = flag.Uint64("measure", sim.DefaultMeasure, "measured instructions")
 		j        = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for independent runs (1 = serial)")
 	)
+	jf := journal.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	defer prof.Start()()
 	parallel.SetDefault(*j)
@@ -67,6 +75,28 @@ func main() {
 		os.Exit(1)
 	}
 
+	type fingerprintConfig struct {
+		Tool    string `json:"tool"`
+		Warmup  uint64 `json:"warmup"`
+		Measure uint64 `json:"measure"`
+	}
+	jrnl, err := jf.Open(journal.Fingerprint{
+		Config: journal.ConfigHash(fingerprintConfig{
+			Tool:    "mpppb-sweep",
+			Warmup:  *warmup,
+			Measure: *measure,
+		}),
+		Version: journal.BuildVersion(),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpppb-sweep: %v\n", err)
+		os.Exit(1)
+	}
+	defer jrnl.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	fmt.Printf("# sweep %s over %s, segment %s\n", *dim, strings.Join(pols, ","), id)
 	fmt.Printf("point")
 	for _, p := range pols {
@@ -82,20 +112,59 @@ func main() {
 			cells = append(cells, cell{pi, qi})
 		}
 	}
-	results, err := parallel.Map(0, len(cells), func(i int) (mpppb.Result, error) {
+	key := func(c cell) string {
+		return "sweep/" + id.String() + "/" + *dim + "/" + points[c.pt].label + "/" + strings.TrimSpace(pols[c.pol])
+	}
+	opts := parallel.RunOpts{Retries: jf.Retries, Timeout: jf.Timeout, KeepGoing: true}
+	results, cellErrs, err := parallel.MapErr(ctx, opts, len(cells), func(ctx context.Context, i int) (mpppb.Result, error) {
 		c := cells[i]
-		return mpppb.Run(points[c.pt].cfg, id, strings.TrimSpace(pols[c.pol]))
+		k := key(c)
+		var res mpppb.Result
+		if hit, err := jrnl.Load(k, &res); err != nil {
+			return mpppb.Result{}, err
+		} else if hit {
+			return res, nil
+		}
+		res, err := mpppb.Run(points[c.pt].cfg, id, strings.TrimSpace(pols[c.pol]))
+		if err != nil {
+			return mpppb.Result{}, err
+		}
+		return res, jrnl.Record(k, res)
 	})
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "mpppb-sweep: interrupted")
+			if jf.Path != "" {
+				fmt.Fprintf(os.Stderr, "mpppb-sweep: completed cells saved; re-run with -journal %s -resume to continue\n", jf.Path)
+			}
+			os.Exit(130)
+		}
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(1)
 	}
+	failed := 0
 	for pi, pt := range points {
 		fmt.Printf("%s", pt.label)
 		for qi := range pols {
-			res := results[pi*len(pols)+qi]
+			i := pi*len(pols) + qi
+			if cellErrs[i] != nil {
+				failed++
+				fmt.Printf("\tNA\tNA")
+				continue
+			}
+			res := results[i]
 			fmt.Printf("\t%.3f\t%.2f", res.IPC, res.MPKI)
 		}
 		fmt.Println()
+	}
+	if failed > 0 {
+		for i, c := range cells {
+			if cellErrs[i] != nil {
+				fmt.Fprintf(os.Stderr, "FAILED %s: %v\n", key(c), cellErrs[i])
+				jrnl.RecordFailure(key(c), cellErrs[i])
+			}
+		}
+		fmt.Fprintf(os.Stderr, "mpppb-sweep: %d of %d cells failed (NA above)\n", failed, len(cells))
+		os.Exit(3)
 	}
 }

@@ -8,15 +8,26 @@
 //	mpppb-trace -replay mcf.trc -policy lru,mpppb
 //	mpppb-trace -import mytrace.csv -o mytrace.trc   # external traces
 //	mpppb-trace -export mcf.trc > mcf.csv
+//
+// Replays checkpoint with -journal FILE; entries are keyed by a content
+// hash of the trace, so -resume refuses to reuse results if the trace
+// file changed underneath the journal.
 package main
 
 import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 
+	"mpppb/internal/journal"
 	"mpppb/internal/parallel"
 	"mpppb/internal/prof"
 	"mpppb/internal/sim"
@@ -38,6 +49,7 @@ func main() {
 		measure  = flag.Uint64("measure", sim.DefaultMeasure, "measured instructions for -replay")
 		j        = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for independent runs (1 = serial)")
 	)
+	jf := journal.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	defer prof.Start()()
 	parallel.SetDefault(*j)
@@ -135,32 +147,84 @@ func main() {
 			float64(len(blocks))*trace.BlockSize/(1<<20))
 
 	case *replay != "":
-		recs := load(*replay)
+		recs, hash := loadHashed(*replay)
 		cfg := sim.SingleThreadConfig()
 		cfg.Warmup, cfg.Measure = *warmup, *measure
+
+		type fingerprintConfig struct {
+			Tool    string `json:"tool"`
+			Trace   string `json:"trace"`
+			Warmup  uint64 `json:"warmup"`
+			Measure uint64 `json:"measure"`
+		}
+		jrnl, err := jf.Open(journal.Fingerprint{
+			Config: journal.ConfigHash(fingerprintConfig{
+				Tool:    "mpppb-trace",
+				Trace:   hash,
+				Warmup:  *warmup,
+				Measure: *measure,
+			}),
+			Version: journal.BuildVersion(),
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer jrnl.Close()
+
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+
 		// Policies replay independently: each worker gets its own replay
 		// cursor over the shared (read-only) record slice.
 		pols := strings.Split(*policies, ",")
 		type replayRes struct {
-			res   sim.Result
-			wraps uint64
+			Res   sim.Result `json:"res"`
+			Wraps uint64     `json:"wraps"`
 		}
-		results, err := parallel.Map(0, len(pols), func(i int) (replayRes, error) {
+		opts := parallel.RunOpts{Retries: jf.Retries, Timeout: jf.Timeout, KeepGoing: true}
+		results, polErrs, err := parallel.MapErr(ctx, opts, len(pols), func(ctx context.Context, i int) (replayRes, error) {
 			pname := strings.TrimSpace(pols[i])
+			key := "replay/" + hash + "/" + pname
+			var rr replayRes
+			if hit, err := jrnl.Load(key, &rr); err != nil {
+				return replayRes{}, err
+			} else if hit {
+				return rr, nil
+			}
 			pf, err := sim.Policy(pname)
 			if err != nil {
 				return replayRes{}, err
 			}
 			gen := trace.NewReplayGenerator(*replay, recs)
 			res := sim.RunSingle(cfg, gen, pf)
-			return replayRes{res: res, wraps: gen.Wraps}, nil
+			rr = replayRes{Res: res, Wraps: gen.Wraps}
+			return rr, jrnl.Record(key, rr)
 		})
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "mpppb-trace: interrupted")
+				if jf.Path != "" {
+					fmt.Fprintf(os.Stderr, "mpppb-trace: completed replays saved; re-run with -journal %s -resume to continue\n", jf.Path)
+				}
+				os.Exit(130)
+			}
 			fatal("%v", err)
 		}
+		failed := 0
 		for i, pname := range pols {
+			pname = strings.TrimSpace(pname)
+			if polErrs[i] != nil {
+				failed++
+				fmt.Printf("%-14s FAILED: %v\n", pname, polErrs[i])
+				jrnl.RecordFailure("replay/"+hash+"/"+pname, polErrs[i])
+				continue
+			}
 			fmt.Printf("%-14s IPC %.3f  MPKI %.2f  (replay wrapped %d times)\n",
-				strings.TrimSpace(pname), results[i].res.IPC, results[i].res.MPKI, results[i].wraps)
+				pname, results[i].Res.IPC, results[i].Res.MPKI, results[i].Wraps)
+		}
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "mpppb-trace: %d of %d replays failed\n", failed, len(pols))
+			os.Exit(3)
 		}
 
 	default:
@@ -170,16 +234,25 @@ func main() {
 }
 
 func load(path string) []trace.Record {
-	f, err := os.Open(path)
-	if err != nil {
-		fatal("%v", err)
-	}
-	defer f.Close()
-	recs, err := trace.ReadAll(f)
-	if err != nil {
-		fatal("%v", err)
-	}
+	recs, _ := loadHashed(path)
 	return recs
+}
+
+// loadHashed reads a whole binary trace and returns its records along with
+// a short content hash identifying the file's exact bytes (used to key
+// replay journal entries, so stale results can't be replayed against a
+// modified trace).
+func loadHashed(path string) ([]trace.Record, string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	recs, err := trace.ReadAll(bytes.NewReader(data))
+	if err != nil {
+		fatal("%v", err)
+	}
+	sum := sha256.Sum256(data)
+	return recs, hex.EncodeToString(sum[:8])
 }
 
 func fatal(format string, args ...any) {

@@ -6,16 +6,25 @@
 //
 //	mpppb-tune -mode st -segments 12 -combos 200
 //	mpppb-tune -mode mp -combos 100
+//
+// Long tunes checkpoint with -journal FILE: every parameterization's
+// training MPKI persists as it completes, and -resume replays them so an
+// interrupted search (the combination sequence is seeded, hence
+// repeatable) continues where it stopped.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 
 	"mpppb/internal/core"
 	"mpppb/internal/experiments"
+	"mpppb/internal/journal"
 	"mpppb/internal/parallel"
 	"mpppb/internal/prof"
 	"mpppb/internal/search"
@@ -34,6 +43,7 @@ func main() {
 		tau0step = flag.Int("tau0-step", 16, "exhaustive tau0 sweep step")
 		j        = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines; each evaluation fans its training segments across them (1 = serial)")
 	)
+	jf := journal.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	defer prof.Start()()
 	parallel.SetDefault(*j)
@@ -46,28 +56,84 @@ func main() {
 	}
 	cfg.Warmup, cfg.Measure = *warmup, *measure
 
-	ev := &search.ThresholdEvaluator{Cfg: cfg, Training: experiments.TrainingSegments(*segments)}
+	type fingerprintConfig struct {
+		Tool     string `json:"tool"`
+		Mode     string `json:"mode"`
+		Segments int    `json:"segments"`
+		Warmup   uint64 `json:"warmup"`
+		Measure  uint64 `json:"measure"`
+	}
+	jrnl, err := jf.Open(journal.Fingerprint{
+		Config: journal.ConfigHash(fingerprintConfig{
+			Tool:     "mpppb-tune",
+			Mode:     *mode,
+			Segments: *segments,
+			Warmup:   *warmup,
+			Measure:  *measure,
+		}),
+		Version: journal.BuildVersion(),
+		Seed:    int64(*seed),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpppb-tune: %v\n", err)
+		os.Exit(1)
+	}
+	defer jrnl.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	ev := &search.ThresholdEvaluator{
+		Cfg:      cfg,
+		Training: experiments.TrainingSegments(*segments),
+		Ctx:      ctx,
+		Journal:  jrnl,
+	}
 	fmt.Fprintf(os.Stderr, "training on %d segments\n", len(ev.Training))
 
-	base := ev.MPKI(params)
-	fmt.Fprintf(os.Stderr, "baseline %.4f MPKI (tau0=%d tau=%d,%d,%d,%d pi=%v)\n",
-		base, params.Tau0, params.Tau1, params.Tau2, params.Tau3, params.Tau4, params.Pi)
+	// The evaluator surfaces cancellation and journal failures as panics
+	// carrying wrapped errors (its callers, the search loops, have no error
+	// returns); convert them back here.
+	err = func() (retErr error) {
+		defer func() {
+			if p := recover(); p != nil {
+				if e, ok := p.(error); ok {
+					retErr = e
+					return
+				}
+				panic(p)
+			}
+		}()
 
-	tau0, m := ev.SearchTau0(params, 0, core.ConfMax, *tau0step, func(t int, m float64) {
-		fmt.Fprintf(os.Stderr, "tau0=%-4d %.4f\n", t, m)
-	})
-	params.Tau0 = tau0
-	fmt.Fprintf(os.Stderr, "best tau0=%d (%.4f MPKI)\n", tau0, m)
+		base := ev.MPKI(params)
+		fmt.Fprintf(os.Stderr, "baseline %.4f MPKI (tau0=%d tau=%d,%d,%d,%d pi=%v)\n",
+			base, params.Tau0, params.Tau1, params.Tau2, params.Tau3, params.Tau4, params.Pi)
 
-	rng := xrand.New(*seed)
-	best, bestMPKI := search.SearchThresholds(ev, rng, params, *combos, func(i int, b float64) {
-		if (i+1)%20 == 0 {
-			fmt.Fprintf(os.Stderr, "combo %d/%d best %.4f\n", i+1, *combos, b)
+		tau0, m := ev.SearchTau0(params, 0, core.ConfMax, *tau0step, func(t int, m float64) {
+			fmt.Fprintf(os.Stderr, "tau0=%-4d %.4f\n", t, m)
+		})
+		params.Tau0 = tau0
+		fmt.Fprintf(os.Stderr, "best tau0=%d (%.4f MPKI)\n", tau0, m)
+
+		rng := xrand.New(*seed)
+		best, bestMPKI := search.SearchThresholds(ev, rng, params, *combos, func(i int, b float64) {
+			if (i+1)%20 == 0 {
+				fmt.Fprintf(os.Stderr, "combo %d/%d best %.4f\n", i+1, *combos, b)
+			}
+		})
+
+		fmt.Printf("mode=%s evaluations=%d\n", *mode, ev.Evals)
+		fmt.Printf("baseline MPKI %.4f -> tuned %.4f\n", base, bestMPKI)
+		fmt.Printf("Tau0: %d\nTau1: %d\nTau2: %d\nTau3: %d\nTau4: %d\nPi:   %v\n",
+			best.Tau0, best.Tau1, best.Tau2, best.Tau3, best.Tau4, best.Pi)
+		return nil
+	}()
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "mpppb-tune: interrupted; re-run with the same flags plus -resume to continue")
+			os.Exit(130)
 		}
-	})
-
-	fmt.Printf("mode=%s evaluations=%d\n", *mode, ev.Evals)
-	fmt.Printf("baseline MPKI %.4f -> tuned %.4f\n", base, bestMPKI)
-	fmt.Printf("Tau0: %d\nTau1: %d\nTau2: %d\nTau3: %d\nTau4: %d\nPi:   %v\n",
-		best.Tau0, best.Tau1, best.Tau2, best.Tau3, best.Tau4, best.Pi)
+		fmt.Fprintf(os.Stderr, "mpppb-tune: %v\n", err)
+		os.Exit(1)
+	}
 }

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"mpppb"
 )
@@ -19,7 +20,7 @@ func main() {
 	climb := flag.Int("climb", 12, "hill-climb proposals")
 	flag.Parse()
 
-	res := mpppb.FeatureSearch(mpppb.FeatureSearchOptions{
+	res, err := mpppb.FeatureSearch(mpppb.FeatureSearchOptions{
 		RandomSets: *nRandom,
 		ClimbSteps: *climb,
 		Training:   4,
@@ -27,6 +28,10 @@ func main() {
 		Measure:    500_000,
 		Seed:       2017,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "feature-search: %v\n", err)
+		os.Exit(1)
+	}
 
 	fmt.Printf("evaluated %d random sets on %d training segments (%d fast sims)\n",
 		*nRandom, 4, res.Evaluations)

@@ -1,6 +1,10 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
+	"math"
+
 	"mpppb/internal/cache"
 	"mpppb/internal/core"
 	"mpppb/internal/parallel"
@@ -27,22 +31,33 @@ type lruWSCache = parallel.Memo[int, float64]
 // 10. Mixes fan across the worker pool; per-mix speedups merge in input
 // order so the geomean accumulates in the serial sequence. Callers
 // sweeping configurations over the same mixes pass shared singles/lruWS
-// caches so baselines are computed once per sweep, not once per point.
-func multiCoreGeomeanWS(cfg sim.Config, pf sim.PolicyFactory, mixes []workload.Mix, singles *sim.SingleIPCCache, lruWS *lruWSCache, progress Progress) float64 {
+// caches so baselines are computed once per sweep, not once per point,
+// and a distinct keyPrefix per sweep point so journal keys never collide.
+// A failed mix contributes NaN, making the point's geomean NaN.
+func multiCoreGeomeanWS(cfg sim.Config, pf sim.PolicyFactory, mixes []workload.Mix, singles *sim.SingleIPCCache, lruWS *lruWSCache, r *Run, keyPrefix string) (float64, error) {
 	lruPF := mustPolicy("lru")
-	trk := progress.tracker(len(mixes))
-	speedups, err := parallel.Map(0, len(mixes), func(i int) (float64, error) {
+	keys := make([]string, len(mixes))
+	for i, mix := range mixes {
+		keys[i] = keyPrefix + "mix=" + mix.String()
+	}
+	speedups, cellErrs, err := runCells(r, keys, func(_ context.Context, i int) (float64, error) {
 		mix := mixes[i]
 		single := singles.For(mix)
 		base := lruWS.Do(i, func() float64 {
 			return sim.RunMulti(cfg, mix, lruPF).WeightedSpeedup(single)
 		})
 		res := sim.RunMulti(cfg, mix, pf)
-		trk.step("  mix %s", mix)
 		return res.WeightedSpeedup(single) / base, nil
 	})
-	mergeErr(err)
-	return stats.GeoMean(speedups)
+	if err != nil {
+		return 0, err
+	}
+	for i, e := range cellErrs {
+		if e != nil {
+			speedups[i] = math.NaN()
+		}
+	}
+	return stats.GeoMean(speedups), nil
 }
 
 // MultiCoreWith runs MPPPB with explicit parameters over the given mixes
@@ -52,7 +67,11 @@ func MultiCoreWith(cfg sim.Config, params core.Params, mixes []workload.Mix, sin
 	if singles == nil {
 		singles = sim.NewSingleIPCCache(cfg)
 	}
-	return multiCoreGeomeanWS(cfg, mpppbFactory(params), mixes, singles, &lruWSCache{}, nil)
+	ws, err := multiCoreGeomeanWS(cfg, mpppbFactory(params), mixes, singles, &lruWSCache{}, nil, "with/")
+	if err != nil {
+		panic(err)
+	}
+	return ws
 }
 
 // Fig9Result is the uniform-associativity experiment (Figure 9): fixing
@@ -68,17 +87,21 @@ type Fig9Result struct {
 
 // Fig9UniformAssociativity sweeps the uniform A parameter over the
 // multi-programmed feature set (Section 6.4, Figure 9).
-func Fig9UniformAssociativity(cfg sim.Config, mixes []workload.Mix, progress Progress) *Fig9Result {
+func Fig9UniformAssociativity(cfg sim.Config, mixes []workload.Mix, r *Run) (*Fig9Result, error) {
 	singles := sim.NewSingleIPCCache(cfg)
 	lruWS := &lruWSCache{}
 	res := &Fig9Result{}
 
 	base := core.MultiCoreParams()
-	progress.log("fig9 original (variable A)")
-	res.OriginalWS = multiCoreGeomeanWS(cfg, mpppbFactory(base), mixes, singles, lruWS, nil)
+	r.prog().log("fig9 original (variable A)")
+	var err error
+	res.OriginalWS, err = multiCoreGeomeanWS(cfg, mpppbFactory(base), mixes, singles, lruWS, r, "fig9/orig/")
+	if err != nil {
+		return nil, err
+	}
 
 	for a := 1; a <= core.MaxA; a++ {
-		progress.log("fig9 uniform A=%d", a)
+		r.prog().log("fig9 uniform A=%d", a)
 		params := core.MultiCoreParams()
 		feats := make([]core.Feature, len(params.Features))
 		copy(feats, params.Features)
@@ -86,9 +109,12 @@ func Fig9UniformAssociativity(cfg sim.Config, mixes []workload.Mix, progress Pro
 			feats[i].A = a
 		}
 		params.Features = feats
-		res.UniformWS[a-1] = multiCoreGeomeanWS(cfg, mpppbFactory(params), mixes, singles, lruWS, nil)
+		res.UniformWS[a-1], err = multiCoreGeomeanWS(cfg, mpppbFactory(params), mixes, singles, lruWS, r, fmt.Sprintf("fig9/a=%d/", a))
+		if err != nil {
+			return nil, err
+		}
 	}
-	return res
+	return res, nil
 }
 
 // Fig10Result is the leave-one-feature-out ablation (Figure 10) over
@@ -105,7 +131,7 @@ type Fig10Result struct {
 
 // Fig10FeatureAblation removes each feature in turn and measures the
 // multi-programmed weighted speedup.
-func Fig10FeatureAblation(cfg sim.Config, features []core.Feature, mixes []workload.Mix, progress Progress) *Fig10Result {
+func Fig10FeatureAblation(cfg sim.Config, features []core.Feature, mixes []workload.Mix, r *Run) (*Fig10Result, error) {
 	if features == nil {
 		features = core.SingleThreadSetA()
 	}
@@ -115,19 +141,26 @@ func Fig10FeatureAblation(cfg sim.Config, features []core.Feature, mixes []workl
 	res := &Fig10Result{Features: features, OmittedWS: make([]float64, len(features))}
 	params := core.MultiCoreParams()
 	params.Features = features
-	progress.log("fig10 original")
-	res.OriginalWS = multiCoreGeomeanWS(cfg, mpppbFactory(params), mixes, singles, lruWS, nil)
+	r.prog().log("fig10 original")
+	var err error
+	res.OriginalWS, err = multiCoreGeomeanWS(cfg, mpppbFactory(params), mixes, singles, lruWS, r, "fig10/orig/")
+	if err != nil {
+		return nil, err
+	}
 
 	for i := range features {
-		progress.log("fig10 omit %s", features[i])
+		r.prog().log("fig10 omit %s", features[i])
 		sub := make([]core.Feature, 0, len(features)-1)
 		sub = append(sub, features[:i]...)
 		sub = append(sub, features[i+1:]...)
 		p := params
 		p.Features = sub
-		res.OmittedWS[i] = multiCoreGeomeanWS(cfg, mpppbFactory(p), mixes, singles, lruWS, nil)
+		res.OmittedWS[i], err = multiCoreGeomeanWS(cfg, mpppbFactory(p), mixes, singles, lruWS, r, fmt.Sprintf("fig10/omit=%d/", i))
+		if err != nil {
+			return nil, err
+		}
 	}
-	return res
+	return res, nil
 }
 
 // Table3Row reports, for one feature, the segment where removing it
@@ -146,7 +179,7 @@ type Table3Row struct {
 // the given feature set (the paper uses Table 1(b) on SPEC CPU 2017
 // simpoints; here the synthetic suite stands in) and reports, for each
 // feature, the segment it helps most.
-func Table3FeatureBenefit(cfg sim.Config, features []core.Feature, segments []workload.SegmentID, progress Progress) []Table3Row {
+func Table3FeatureBenefit(cfg sim.Config, features []core.Feature, segments []workload.SegmentID, r *Run) ([]Table3Row, error) {
 	if features == nil {
 		features = core.SingleThreadSetB()
 	}
@@ -167,32 +200,40 @@ func Table3FeatureBenefit(cfg sim.Config, features []core.Feature, segments []wo
 	// segment order, so ties keep resolving to the earliest segment exactly
 	// as the serial loop did.
 	type segMPKIs struct {
-		with    float64
-		without []float64
+		With    float64   `json:"with"`
+		Without []float64 `json:"without"`
 	}
-	trk := progress.tracker(len(segments))
-	runs, err := parallel.Map(0, len(segments), func(si int) (segMPKIs, error) {
+	keys := make([]string, len(segments))
+	for si, id := range segments {
+		keys[si] = "table3/" + id.String()
+	}
+	runs, cellErrs, err := runCells(r, keys, func(_ context.Context, si int) (segMPKIs, error) {
 		id := segments[si]
 		gen := workload.NewGenerator(id, workload.CoreBase(0))
-		r := segMPKIs{without: make([]float64, len(features))}
-		r.with = sim.RunFastMPKI(cfg, gen, mpppbFactory(params)).MPKI
+		c := segMPKIs{Without: make([]float64, len(features))}
+		c.With = sim.RunFastMPKI(cfg, gen, mpppbFactory(params)).MPKI
 		for i := range features {
 			sub := make([]core.Feature, 0, len(features)-1)
 			sub = append(sub, features[:i]...)
 			sub = append(sub, features[i+1:]...)
 			p := params
 			p.Features = sub
-			r.without[i] = sim.RunFastMPKI(cfg, gen, mpppbFactory(p)).MPKI
+			c.Without[i] = sim.RunFastMPKI(cfg, gen, mpppbFactory(p)).MPKI
 		}
-		trk.step("table3 %s", id)
-		return r, nil
+		return c, nil
 	})
-	mergeErr(err)
+	if err != nil {
+		return nil, err
+	}
 
 	for si, id := range segments {
-		with := runs[si].with
+		if cellErrs[si] != nil {
+			// Failed segment: it simply never wins the per-feature argmax.
+			continue
+		}
+		with := runs[si].With
 		for i := range features {
-			without := runs[si].without[i]
+			without := runs[si].Without[i]
 			pct := 0.0
 			if with > 0 {
 				pct = 100 * (without - with) / with
@@ -210,5 +251,5 @@ func Table3FeatureBenefit(cfg sim.Config, features []core.Feature, segments []wo
 			}
 		}
 	}
-	return rows
+	return rows, nil
 }

@@ -7,9 +7,14 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"mpppb/internal/journal"
+	"mpppb/internal/parallel"
 	"mpppb/internal/sim"
 	"mpppb/internal/workload"
 )
@@ -54,15 +59,132 @@ func (t *tracker) step(format string, args ...any) {
 	t.mu.Unlock()
 }
 
-// mergeErr rethrows a pool error on the experiment goroutine. Experiment
-// functions have no error returns (policy names are validated or compiled
-// in), so a worker failure — in practice only a captured panic — surfaces
-// the way it would have surfaced serially, but without deadlocking or
-// killing sibling workers mid-run.
-func mergeErr(err error) {
-	if err != nil {
-		panic(err)
+// Run carries the execution policy for one experiment invocation:
+// cancellation, checkpointing, pool sizing, retry/timeout behavior, and
+// progress reporting. A nil *Run means "all defaults" — background
+// context, no journal, default pool, fail-fast, silent — so existing call
+// sites that used to pass a nil Progress keep working unchanged.
+type Run struct {
+	// Ctx cancels the run: dispatch of new cells stops, in-flight cells
+	// finish (and are journaled), and the experiment returns Ctx's error.
+	Ctx context.Context
+	// Journal checkpoints completed cells; nil disables.
+	Journal *journal.Journal
+	// Workers overrides the pool width; 0 uses parallel.Default (-j).
+	Workers int
+	// Retries, Backoff and TaskTimeout configure per-cell fault handling
+	// (see parallel.RunOpts).
+	Retries     int
+	Backoff     time.Duration
+	TaskTimeout time.Duration
+	// KeepGoing degrades gracefully: a cell that exhausts its retries is
+	// recorded as a FAILED journal entry and an entry in Failures(), its
+	// slots in the result table hold NaN (rendered "NaN" in the TSVs), and
+	// the remaining cells still run. Without it the first failure aborts.
+	KeepGoing bool
+	// Progress receives status lines; nil disables.
+	Progress Progress
+
+	mu       sync.Mutex
+	failures []CellFailure
+}
+
+// CellFailure records one cell that exhausted its attempts.
+type CellFailure struct {
+	Key string
+	Err error
+}
+
+func (r *Run) ctx() context.Context {
+	if r == nil || r.Ctx == nil {
+		return context.Background()
 	}
+	return r.Ctx
+}
+
+func (r *Run) jrnl() *journal.Journal {
+	if r == nil {
+		return nil
+	}
+	return r.Journal
+}
+
+func (r *Run) prog() Progress {
+	if r == nil {
+		return nil
+	}
+	return r.Progress
+}
+
+func (r *Run) popts() parallel.RunOpts {
+	if r == nil {
+		return parallel.RunOpts{}
+	}
+	return parallel.RunOpts{
+		Workers:   r.Workers,
+		Retries:   r.Retries,
+		Backoff:   r.Backoff,
+		Timeout:   r.TaskTimeout,
+		KeepGoing: r.KeepGoing,
+	}
+}
+
+func (r *Run) addFailure(key string, err error) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.failures = append(r.failures, CellFailure{Key: key, Err: err})
+	r.mu.Unlock()
+}
+
+// Failures returns the cells that failed permanently during this Run, in
+// no particular order. Empty on a clean run (and always on a nil Run).
+func (r *Run) Failures() []CellFailure {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]CellFailure(nil), r.failures...)
+}
+
+// runCells executes one cell grid: for each key, either serve the cell
+// from the journal or compute and journal it, fanning across the pool per
+// the Run's options. It is the single choke point where checkpointing,
+// retry, timeout, and failure accounting meet, so every experiment driver
+// gets identical fault semantics. Cancellation errors are never recorded
+// as cell failures — an interrupted cell is simply absent and recomputes
+// on resume.
+func runCells[T any](r *Run, keys []string, compute func(ctx context.Context, i int) (T, error)) ([]T, []error, error) {
+	trk := r.prog().tracker(len(keys))
+	j := r.jrnl()
+	results, errs, err := parallel.MapErr(r.ctx(), r.popts(), len(keys), func(ctx context.Context, i int) (T, error) {
+		var v T
+		if ok, lerr := j.Load(keys[i], &v); lerr != nil {
+			return v, lerr
+		} else if ok {
+			trk.step("%s (from journal)", keys[i])
+			return v, nil
+		}
+		v, cerr := compute(ctx, i)
+		if cerr != nil {
+			return v, cerr
+		}
+		if rerr := j.Record(keys[i], v); rerr != nil {
+			return v, rerr
+		}
+		trk.step("%s", keys[i])
+		return v, nil
+	})
+	for i, e := range errs {
+		if e == nil || errors.Is(e, context.Canceled) {
+			continue
+		}
+		j.RecordFailure(keys[i], e)
+		r.addFailure(keys[i], e)
+	}
+	return results, errs, err
 }
 
 // DefaultSingleThreadPolicies are the realistic policies compared in the

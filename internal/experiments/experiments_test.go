@@ -57,7 +57,10 @@ func TestTrainingSegmentsSpread(t *testing.T) {
 
 func TestSingleThreadExperimentSmall(t *testing.T) {
 	benches := []string{"libquantum_like", "povray_like"}
-	tab := SingleThread(tinyST(), []string{"mpppb"}, benches, nil)
+	tab, err := SingleThread(tinyST(), []string{"mpppb"}, benches, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, b := range benches {
 		if tab.Speedup["lru"][b] != 1 {
 			t.Fatalf("LRU speedup for %s = %g", b, tab.Speedup["lru"][b])
@@ -88,7 +91,10 @@ func TestSingleThreadExperimentSmall(t *testing.T) {
 
 func TestMultiCoreExperimentSmall(t *testing.T) {
 	mixes := workload.Mixes(2, 5)
-	tab := MultiCore(tinyMC(), []string{"mpppb-srrip"}, mixes, nil)
+	tab, err := MultiCore(tinyMC(), []string{"mpppb-srrip"}, mixes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.WeightedSpeedup["mpppb-srrip"]) != 2 {
 		t.Fatal("missing mix results")
 	}
@@ -119,7 +125,10 @@ func TestROCCurvesExperimentSmall(t *testing.T) {
 	cfg := tinyST()
 	cfg.Warmup = 250_000
 	cfg.Measure = 700_000
-	tab := ROCCurves(cfg, nil, segs, nil)
+	tab, err := ROCCurves(cfg, nil, segs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, p := range tab.Predictors {
 		if tab.Samples[p] == 0 {
 			t.Fatalf("%s: no samples", p)
@@ -137,7 +146,10 @@ func TestROCCurvesExperimentSmall(t *testing.T) {
 
 func TestFig9Small(t *testing.T) {
 	mixes := workload.Mixes(1, 9)
-	res := Fig9UniformAssociativity(tinyMC(), mixes, nil)
+	res, err := Fig9UniformAssociativity(tinyMC(), mixes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.OriginalWS <= 0 {
 		t.Fatal("no original result")
 	}
@@ -151,7 +163,10 @@ func TestFig9Small(t *testing.T) {
 func TestFig10Small(t *testing.T) {
 	mixes := workload.Mixes(1, 9)
 	feats := core.SingleThreadSetA()[:4]
-	res := Fig10FeatureAblation(tinyMC(), feats, mixes, nil)
+	res, err := Fig10FeatureAblation(tinyMC(), feats, mixes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.OmittedWS) != 4 {
 		t.Fatalf("%d omissions", len(res.OmittedWS))
 	}
@@ -165,7 +180,10 @@ func TestFig10Small(t *testing.T) {
 func TestTable3Small(t *testing.T) {
 	segs := []workload.SegmentID{{Bench: "sphinx3_like", Seg: 0}, {Bench: "gcc_like", Seg: 0}}
 	feats := core.SingleThreadSetB()[:3]
-	rows := Table3FeatureBenefit(tinyST(), feats, segs, nil)
+	rows, err := Table3FeatureBenefit(tinyST(), feats, segs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 3 {
 		t.Fatalf("%d rows", len(rows))
 	}
@@ -177,7 +195,10 @@ func TestTable3Small(t *testing.T) {
 }
 
 func TestFig3Small(t *testing.T) {
-	res := Fig3FeatureSearch(tinyST(), TrainingSegments(2), 3, 3, 11, nil)
+	res, err := Fig3FeatureSearch(tinyST(), TrainingSegments(2), 3, 3, 11, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.RandomMPKI) != 3 {
 		t.Fatalf("%d random results", len(res.RandomMPKI))
 	}

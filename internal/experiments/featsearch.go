@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
+	"math"
+
 	"mpppb/internal/cache"
 	"mpppb/internal/core"
-	"mpppb/internal/parallel"
 	"mpppb/internal/policy"
 	"mpppb/internal/search"
 	"mpppb/internal/sim"
@@ -38,12 +40,35 @@ type Fig3Result struct {
 // proposals, and computes the LRU/MIN reference MPKIs (Section 5.1,
 // Figure 3). The paper used 4000 random sets and ~10 CPU-years; the
 // defaults here are scaled down but the machinery is the same.
-func Fig3FeatureSearch(cfg sim.Config, training []workload.SegmentID, nRandom, climbSteps int, seed uint64, progress Progress) *Fig3Result {
+//
+// The search is sequential by construction (each hill-climb proposal
+// depends on its predecessor), so checkpointing works at the evaluation
+// level: every feature set's training MPKI lands in r's journal under
+// search.SetKey, and a resumed run — same seed, hence the same proposal
+// sequence — replays evaluated sets from disk until it reaches the point
+// of interruption. Evaluations counts logical (journal hits included)
+// evaluations, so the reported TSV is byte-identical across resumes.
+func Fig3FeatureSearch(cfg sim.Config, training []workload.SegmentID, nRandom, climbSteps int, seed uint64, r *Run) (res *Fig3Result, retErr error) {
 	if training == nil {
 		training = workload.Segments()
 	}
+	progress := r.prog()
 	rng := xrand.New(seed)
 	ev := search.NewEvaluator(cfg, training)
+	ev.Ctx = r.ctx()
+	ev.Journal = r.jrnl()
+
+	// The search loops have no error returns; a cancelled or failed
+	// evaluation surfaces as a panic carrying the wrapped error.
+	defer func() {
+		if p := recover(); p != nil {
+			if err, ok := p.(error); ok {
+				res, retErr = nil, err
+				return
+			}
+			panic(p)
+		}
+	}()
 
 	scored, err := search.RandomSearch(ev, rng, nRandom, core.DefaultFeatureCount,
 		func(i int, mpki float64) { progress.log("fig3 random set %d/%d: %.3f MPKI", i+1, nRandom, mpki) })
@@ -51,7 +76,7 @@ func Fig3FeatureSearch(cfg sim.Config, training []workload.SegmentID, nRandom, c
 		panic("experiments: " + err.Error())
 	}
 
-	res := &Fig3Result{BestRandom: scored[0]}
+	res = &Fig3Result{BestRandom: scored[0]}
 	for _, s := range scored {
 		res.RandomMPKI = append(res.RandomMPKI, s.MPKI)
 	}
@@ -65,23 +90,36 @@ func Fig3FeatureSearch(cfg sim.Config, training []workload.SegmentID, nRandom, c
 
 	// Reference lines: LRU and MIN average MPKI over the training set,
 	// fanned across the pool and summed in segment order.
-	type refMPKI struct{ lru, min float64 }
-	refs, err := parallel.Map(0, len(training), func(i int) (refMPKI, error) {
+	type refMPKI struct {
+		LRU float64 `json:"lru"`
+		MIN float64 `json:"min"`
+	}
+	keys := make([]string, len(training))
+	for i, id := range training {
+		keys[i] = "fig3/ref/" + id.String()
+	}
+	refs, cellErrs, err := runCells(r, keys, func(_ context.Context, i int) (refMPKI, error) {
 		gen := workload.NewGenerator(training[i], workload.CoreBase(0))
 		lru := sim.RunFastMPKI(cfg, gen, func(sets, ways int) cache.ReplacementPolicy {
 			return policy.NewLRU(sets, ways)
 		}).MPKI
 		_, minRes := sim.RunSingleMIN(cfg, gen)
-		return refMPKI{lru: lru, min: minRes.MPKI}, nil
+		return refMPKI{LRU: lru, MIN: minRes.MPKI}, nil
 	})
-	mergeErr(err)
+	if err != nil {
+		return nil, err
+	}
 	var lruSum, minSum float64
-	for _, r := range refs {
-		lruSum += r.lru
-		minSum += r.min
+	for i, ref := range refs {
+		if cellErrs[i] != nil {
+			lruSum, minSum = math.NaN(), math.NaN()
+			continue
+		}
+		lruSum += ref.LRU
+		minSum += ref.MIN
 	}
 	res.LRUMPKI = lruSum / float64(len(training))
 	res.MINMPKI = minSum / float64(len(training))
 	res.Evaluations = ev.Evals
-	return res
+	return res, nil
 }

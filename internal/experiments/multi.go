@@ -1,7 +1,9 @@
 package experiments
 
 import (
-	"mpppb/internal/parallel"
+	"context"
+	"math"
+
 	"mpppb/internal/sim"
 	"mpppb/internal/stats"
 	"mpppb/internal/workload"
@@ -25,6 +27,16 @@ type MultiCoreTable struct {
 	// BelowLRU[policy] counts mixes with normalized speedup < 1 (Section
 	// 6.1.1's stability comparison).
 	BelowLRU map[string]int
+	// FailedCells lists journal keys of mix cells that failed permanently
+	// under Run.KeepGoing; their rows hold NaN.
+	FailedCells []string
+}
+
+// mixCell is the per-mix unit of work, shaped for lossless journaling.
+type mixCell struct {
+	LRUMPKI float64            `json:"lru_mpki"`
+	WS      map[string]float64 `json:"ws"`
+	MPKI    map[string]float64 `json:"mpki"`
 }
 
 // MultiCore runs the multi-programmed evaluation over the given mixes.
@@ -32,8 +44,8 @@ type MultiCoreTable struct {
 // SingleIPCCache is single-flight, so concurrent mixes needing the same
 // segment's standalone baseline never duplicate that run. Per-mix results
 // merge back in input order, making the table byte-identical at any
-// worker count.
-func MultiCore(cfg sim.Config, policies []string, mixes []workload.Mix, progress Progress) *MultiCoreTable {
+// worker count — including runs interrupted and resumed from r's journal.
+func MultiCore(cfg sim.Config, policies []string, mixes []workload.Mix, r *Run) (*MultiCoreTable, error) {
 	t := &MultiCoreTable{
 		Policies:        policies,
 		Mixes:           mixes,
@@ -46,36 +58,47 @@ func MultiCore(cfg sim.Config, policies []string, mixes []workload.Mix, progress
 	singles := sim.NewSingleIPCCache(cfg)
 	lruPF := mustPolicy("lru")
 
-	type mixRun struct {
-		lruMPKI float64
-		ws      map[string]float64
-		mpki    map[string]float64
+	keys := make([]string, len(mixes))
+	for i, mix := range mixes {
+		keys[i] = "multi/" + mix.String()
 	}
-	trk := progress.tracker(len(mixes))
-	runs, err := parallel.Map(0, len(mixes), func(i int) (mixRun, error) {
+	runs, cellErrs, err := runCells(r, keys, func(_ context.Context, i int) (mixCell, error) {
 		mix := mixes[i]
 		single := singles.For(mix)
 		lruRes := sim.RunMulti(cfg, mix, lruPF)
 		lruWS := lruRes.WeightedSpeedup(single)
-		r := mixRun{lruMPKI: lruRes.MPKI, ws: map[string]float64{}, mpki: map[string]float64{}}
+		c := mixCell{LRUMPKI: lruRes.MPKI, WS: map[string]float64{}, MPKI: map[string]float64{}}
 		for _, p := range policies {
 			res := sim.RunMulti(cfg, mix, mustPolicy(p))
-			r.ws[p] = res.WeightedSpeedup(single) / lruWS
-			r.mpki[p] = res.MPKI
+			c.WS[p] = res.WeightedSpeedup(single) / lruWS
+			c.MPKI[p] = res.MPKI
 		}
-		trk.step("multi-core mix %s", mix)
-		return r, nil
+		return c, nil
 	})
-	mergeErr(err)
+	if err != nil {
+		return nil, err
+	}
 
 	for i := range mixes {
-		r := runs[i]
+		c := runs[i]
+		if cellErrs[i] != nil {
+			// Failed mix: every policy's row holds NaN (the LRU speedup
+			// column stays 1 by definition, but its MPKI is unknown).
+			t.FailedCells = append(t.FailedCells, keys[i])
+			t.WeightedSpeedup["lru"] = append(t.WeightedSpeedup["lru"], 1.0)
+			t.MPKI["lru"] = append(t.MPKI["lru"], math.NaN())
+			for _, p := range policies {
+				t.WeightedSpeedup[p] = append(t.WeightedSpeedup[p], math.NaN())
+				t.MPKI[p] = append(t.MPKI[p], math.NaN())
+			}
+			continue
+		}
 		t.WeightedSpeedup["lru"] = append(t.WeightedSpeedup["lru"], 1.0)
-		t.MPKI["lru"] = append(t.MPKI["lru"], r.lruMPKI)
+		t.MPKI["lru"] = append(t.MPKI["lru"], c.LRUMPKI)
 		for _, p := range policies {
-			t.WeightedSpeedup[p] = append(t.WeightedSpeedup[p], r.ws[p])
-			t.MPKI[p] = append(t.MPKI[p], r.mpki[p])
-			if r.ws[p] < 1 {
+			t.WeightedSpeedup[p] = append(t.WeightedSpeedup[p], c.WS[p])
+			t.MPKI[p] = append(t.MPKI[p], c.MPKI[p])
+			if c.WS[p] < 1 {
 				t.BelowLRU[p]++
 			}
 		}
@@ -85,7 +108,7 @@ func MultiCore(cfg sim.Config, policies []string, mixes []workload.Mix, progress
 		t.GeomeanSpeedup[p] = stats.GeoMean(t.WeightedSpeedup[p])
 		t.MeanMPKI[p] = stats.Mean(t.MPKI[p])
 	}
-	return t
+	return t, nil
 }
 
 // SpeedupSCurve returns a policy's normalized weighted speedups in

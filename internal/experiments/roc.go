@@ -1,7 +1,8 @@
 package experiments
 
 import (
-	"mpppb/internal/parallel"
+	"context"
+
 	"mpppb/internal/sim"
 	"mpppb/internal/stats"
 	"mpppb/internal/workload"
@@ -22,6 +23,10 @@ type ROCTable struct {
 	TPRAt30 map[string]float64
 	// Samples[predictor] counts pooled prediction outcomes.
 	Samples map[string]int
+	// FailedCells lists journal keys of (predictor, segment) cells that
+	// failed permanently under Run.KeepGoing; their samples are absent
+	// from the pooled curves.
+	FailedCells []string
 }
 
 // DefaultROCPredictors lists the predictors with comparable confidences.
@@ -32,7 +37,13 @@ func DefaultROCPredictors() []string { return []string{"sdbp", "perceptron", "mp
 // predictor. The paper averages per-benchmark curves; pooling weights
 // benchmarks by their access counts instead, which preserves the ordering
 // the figure demonstrates.
-func ROCCurves(cfg sim.Config, predictors []string, segments []workload.SegmentID, progress Progress) *ROCTable {
+//
+// The (predictor, segment) grid flattens into one cell list so all
+// predictors' segments share the pool (and the checkpoint journal, where
+// each cell's samples are stored packed, see stats.PackedROC); samples
+// pool per predictor in segment order, so the curves are byte-identical
+// at any worker count and across resumes.
+func ROCCurves(cfg sim.Config, predictors []string, segments []workload.SegmentID, r *Run) (*ROCTable, error) {
 	if predictors == nil {
 		predictors = DefaultROCPredictors()
 	}
@@ -46,25 +57,37 @@ func ROCCurves(cfg sim.Config, predictors []string, segments []workload.SegmentI
 		TPRAt30:    map[string]float64{},
 		Samples:    map[string]int{},
 	}
-	for _, pred := range predictors {
+	cfs := make([]sim.ConfidenceFactory, len(predictors))
+	for pi, pred := range predictors {
 		cf, err := sim.Confidence(pred)
 		if err != nil {
 			panic("experiments: " + err.Error())
 		}
-		// Segments fan across the pool; samples pool in segment order so
-		// the curve is byte-identical at any worker count.
-		trk := progress.tracker(len(segments))
-		perSeg, perr := parallel.Map(0, len(segments), func(i int) ([]stats.ROCSample, error) {
-			id := segments[i]
-			gen := workload.NewGenerator(id, workload.CoreBase(0))
-			samples := sim.RunROC(cfg, gen, cf)
-			trk.step("roc %s %s", pred, id)
-			return samples, nil
-		})
-		mergeErr(perr)
+		cfs[pi] = cf
+	}
+	keys := make([]string, 0, len(predictors)*len(segments))
+	for _, pred := range predictors {
+		for _, id := range segments {
+			keys = append(keys, "roc/"+pred+"/"+id.String())
+		}
+	}
+	cells, cellErrs, err := runCells(r, keys, func(_ context.Context, i int) (stats.PackedROC, error) {
+		pi, si := i/len(segments), i%len(segments)
+		gen := workload.NewGenerator(segments[si], workload.CoreBase(0))
+		return stats.PackROC(sim.RunROC(cfg, gen, cfs[pi])), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, pred := range predictors {
 		var pool []stats.ROCSample
-		for _, samples := range perSeg {
-			pool = append(pool, samples...)
+		for si := range segments {
+			i := pi*len(segments) + si
+			if cellErrs[i] != nil {
+				t.FailedCells = append(t.FailedCells, keys[i])
+				continue
+			}
+			pool = append(pool, cells[i].Unpack()...)
 		}
 		curve := stats.ROC(pool)
 		t.Curves[pred] = curve
@@ -72,5 +95,5 @@ func ROCCurves(cfg sim.Config, predictors []string, segments []workload.SegmentI
 		t.TPRAt30[pred] = stats.TPRAtFPR(curve, 0.30)
 		t.Samples[pred] = len(pool)
 	}
-	return t
+	return t, nil
 }

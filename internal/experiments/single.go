@@ -1,9 +1,10 @@
 package experiments
 
 import (
+	"context"
+	"math"
 	"sort"
 
-	"mpppb/internal/parallel"
 	"mpppb/internal/sim"
 	"mpppb/internal/stats"
 	"mpppb/internal/workload"
@@ -31,6 +32,10 @@ type SingleThreadTable struct {
 	// BestCount[policy] counts benchmarks where the policy had the best
 	// speedup among the realistic policies (Section 6.2.1's "22 out of 33").
 	BestCount map[string]int
+	// FailedCells lists, in suite order, journal keys of segment cells
+	// that failed permanently under Run.KeepGoing; their contributions to
+	// every aggregate above are NaN.
+	FailedCells []string
 }
 
 // AllSingleThreadPolicies returns the policy column order including the
@@ -39,12 +44,21 @@ func (t *SingleThreadTable) AllSingleThreadPolicies() []string {
 	return append(append([]string{"lru"}, t.Policies...), "min")
 }
 
+// segCell is the per-(benchmark, segment) unit of work: every policy's
+// IPC and MPKI on that segment. Exported fields with JSON tags so the
+// cell round-trips losslessly through the checkpoint journal.
+type segCell struct {
+	IPC  map[string]float64 `json:"ipc"`
+	MPKI map[string]float64 `json:"mpki"`
+}
+
 // SingleThread runs the single-thread evaluation: every benchmark segment
 // under LRU, MIN, and the given policies. Segments are independent, so
 // they fan across the worker pool (parallel.Default, the cmd tools' -j);
 // per-segment results merge back in suite order, making the table
-// byte-identical at any worker count.
-func SingleThread(cfg sim.Config, policies []string, benches []string, progress Progress) *SingleThreadTable {
+// byte-identical at any worker count — including runs that were
+// interrupted and resumed from r's journal.
+func SingleThread(cfg sim.Config, policies []string, benches []string, r *Run) (*SingleThreadTable, error) {
 	if benches == nil {
 		benches = workload.Benchmarks()
 	}
@@ -67,44 +81,54 @@ func SingleThread(cfg sim.Config, policies []string, benches []string, progress 
 
 	// One unit of work per (benchmark, segment): all policies on that
 	// segment, sharing the segment's generator as the serial code did.
-	type segRun struct {
-		ipc  map[string]float64
-		mpki map[string]float64
-	}
 	ids := make([]workload.SegmentID, 0, len(benches)*workload.SegmentsPerBenchmark)
 	for _, bench := range benches {
 		for seg := 0; seg < workload.SegmentsPerBenchmark; seg++ {
 			ids = append(ids, workload.SegmentID{Bench: bench, Seg: seg})
 		}
 	}
-	trk := progress.tracker(len(ids))
-	runs, err := parallel.Map(0, len(ids), func(i int) (segRun, error) {
+	keys := make([]string, len(ids))
+	for i, id := range ids {
+		keys[i] = "single/" + id.String()
+	}
+	runs, cellErrs, err := runCells(r, keys, func(_ context.Context, i int) (segCell, error) {
 		id := ids[i]
-		r := segRun{ipc: map[string]float64{}, mpki: map[string]float64{}}
+		c := segCell{IPC: map[string]float64{}, MPKI: map[string]float64{}}
 		gen := workload.NewGenerator(id, workload.CoreBase(0))
 		lruRes, minRes := sim.RunSingleMIN(cfg, gen)
-		r.ipc["lru"], r.mpki["lru"] = lruRes.IPC, lruRes.MPKI
-		r.ipc["min"], r.mpki["min"] = minRes.IPC, minRes.MPKI
+		c.IPC["lru"], c.MPKI["lru"] = lruRes.IPC, lruRes.MPKI
+		c.IPC["min"], c.MPKI["min"] = minRes.IPC, minRes.MPKI
 		for _, p := range policies {
 			res := sim.RunSingle(cfg, gen, mustPolicy(p))
-			r.ipc[p], r.mpki[p] = res.IPC, res.MPKI
+			c.IPC[p], c.MPKI[p] = res.IPC, res.MPKI
 		}
-		trk.step("single-thread %s", id)
-		return r, nil
+		return c, nil
 	})
-	mergeErr(err)
+	if err != nil {
+		return nil, err
+	}
 
 	// Merge in suite order: aggregation below consumes per-segment values
-	// in exactly the sequence the serial loop produced them.
+	// in exactly the sequence the serial loop produced them. A failed cell
+	// (KeepGoing) contributes NaN to every aggregate it touches.
 	segWeights := workload.SegmentWeights()
 	for bi, bench := range benches {
 		ipcs := map[string][]float64{}
 		mpkis := map[string][]float64{}
 		for seg := 0; seg < workload.SegmentsPerBenchmark; seg++ {
-			r := runs[bi*workload.SegmentsPerBenchmark+seg]
+			i := bi*workload.SegmentsPerBenchmark + seg
+			c := runs[i]
+			if cellErrs[i] != nil {
+				t.FailedCells = append(t.FailedCells, keys[i])
+				for _, p := range all {
+					ipcs[p] = append(ipcs[p], math.NaN())
+					mpkis[p] = append(mpkis[p], math.NaN())
+				}
+				continue
+			}
 			for _, p := range all {
-				ipcs[p] = append(ipcs[p], r.ipc[p])
-				mpkis[p] = append(mpkis[p], r.mpki[p])
+				ipcs[p] = append(ipcs[p], c.IPC[p])
+				mpkis[p] = append(mpkis[p], c.MPKI[p])
 			}
 		}
 		for _, p := range all {
@@ -133,7 +157,7 @@ func SingleThread(cfg sim.Config, policies []string, benches []string, progress 
 		t.GeomeanSpeedup[p] = stats.GeoMean(sp)
 		t.MeanMPKI[p] = stats.Mean(mp)
 	}
-	return t
+	return t, nil
 }
 
 // BenchmarksBySpeedup returns the benchmarks sorted ascending by a policy's

@@ -1,0 +1,56 @@
+package journal
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"runtime/debug"
+)
+
+// ConfigHash hashes a plain-data config value (via its JSON form) into a
+// short hex digest for Fingerprint.Config. Include every input that shapes
+// the cell grid or the cell values — instruction budgets, policy lists,
+// benchmark lists, segment counts — so a journal can never be resumed into
+// a run that would compute different cells under the same keys.
+func ConfigHash(cfg any) string {
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		// Config values are plain structs of strings and numbers; a
+		// marshal failure is a programming error, not a runtime condition.
+		panic("journal: unmarshalable config: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+}
+
+// BuildVersion identifies the running binary for Fingerprint.Version: the
+// VCS revision stamped by the Go toolchain ("+dirty" when the worktree had
+// local modifications), or "dev" when no VCS info is embedded (go test,
+// go run). Simulation outputs are pure functions of the code, so cells
+// journaled by one revision must not be spliced into another's tables.
+func BuildVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "dev"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return rev
+}

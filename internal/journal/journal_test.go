@@ -1,0 +1,229 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var testFP = Fingerprint{Config: "cfg-abc", Version: "rev-123", Seed: 2017}
+
+type cell struct {
+	IPC  float64 `json:"ipc"`
+	MPKI float64 `json:"mpki"`
+}
+
+func mustCreate(t *testing.T, path string) *Journal {
+	t.Helper()
+	j, err := Create(path, testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestCreateResumeRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j := mustCreate(t, path)
+	want := cell{IPC: 1.25, MPKI: 10.5}
+	if err := j.Record("single/gcc_like-0", want); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordFailure("single/mcf_like-1", errors.New("cell blew up")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	r, err := Resume(path, testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var got cell
+	ok, err := r.Load("single/gcc_like-0", &got)
+	if err != nil || !ok {
+		t.Fatalf("load: ok=%v err=%v", ok, err)
+	}
+	if got != want {
+		t.Fatalf("round-trip %+v, want %+v", got, want)
+	}
+	// A failed cell must miss so the driver recomputes it.
+	if ok, _ := r.Load("single/mcf_like-1", &got); ok {
+		t.Fatal("failed cell served as completed")
+	}
+	// ...but still count as a known key.
+	if r.Len() != 2 {
+		t.Fatalf("Len %d, want 2", r.Len())
+	}
+	// Appending after resume works.
+	if err := r.Record("single/mcf_like-1", cell{IPC: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := r.Load("single/mcf_like-1", &got); !ok || got.IPC != 0.5 {
+		t.Fatalf("post-resume record not visible: ok=%v got=%+v", ok, got)
+	}
+}
+
+func TestLastEntryWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j := mustCreate(t, path)
+	// A failure followed by a success on a later attempt: the retry trail
+	// stays in the file, the final state is the success.
+	j.RecordFailure("k", errors.New("first attempt failed"))
+	j.Record("k", cell{IPC: 2})
+	j.Close()
+
+	r, err := Resume(path, testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var got cell
+	if ok, _ := r.Load("k", &got); !ok || got.IPC != 2 {
+		t.Fatalf("last entry did not win: ok=%v got=%+v", ok, got)
+	}
+	// And the reverse: a success later superseded by a failure misses.
+	path2 := filepath.Join(t.TempDir(), "j2.jsonl")
+	j2 := mustCreate(t, path2)
+	j2.Record("k", cell{IPC: 2})
+	j2.RecordFailure("k", errors.New("went bad"))
+	j2.Close()
+	r2, err := Resume(path2, testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if ok, _ := r2.Load("k", &got); ok {
+		t.Fatal("superseding failure ignored")
+	}
+}
+
+func TestPartialTrailingLineTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j := mustCreate(t, path)
+	j.Record("done", cell{IPC: 1})
+	j.Close()
+	// Simulate a crash mid-write: garbage with no trailing newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"key":"half-writ`)
+	f.Close()
+
+	r, err := Resume(path, testFP)
+	if err != nil {
+		t.Fatalf("resume after partial write: %v", err)
+	}
+	var got cell
+	if ok, _ := r.Load("done", &got); !ok {
+		t.Fatal("good prefix lost")
+	}
+	// The partial line must be gone from disk, and appends must produce a
+	// file that parses cleanly end to end.
+	if err := r.Record("next", cell{IPC: 3}); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	r2, err := Resume(path, testFP)
+	if err != nil {
+		t.Fatalf("second resume: %v", err)
+	}
+	defer r2.Close()
+	if ok, _ := r2.Load("next", &got); !ok || got.IPC != 3 {
+		t.Fatal("append after truncation corrupted the file")
+	}
+}
+
+func TestMidFileCorruptionRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j := mustCreate(t, path)
+	j.Record("a", cell{IPC: 1})
+	j.Close()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A newline-terminated garbage line followed by a good record is
+	// corruption, not a crash artifact.
+	f.WriteString("not json at all\n")
+	f.Close()
+	j2, err := Resume(path, testFP)
+	if err == nil {
+		t.Fatal("resumed a corrupt journal")
+	}
+	j2.Close()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestFingerprintMismatchRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	mustCreate(t, path).Close()
+	for _, fp := range []Fingerprint{
+		{Config: "other", Version: testFP.Version, Seed: testFP.Seed},
+		{Config: testFP.Config, Version: "other", Seed: testFP.Seed},
+		{Config: testFP.Config, Version: testFP.Version, Seed: 99},
+	} {
+		_, err := Resume(path, fp)
+		if !errors.Is(err, ErrMismatch) {
+			t.Fatalf("Resume with %+v: err=%v, want ErrMismatch", fp, err)
+		}
+	}
+}
+
+func TestCreateRefusesExistingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	mustCreate(t, path).Close()
+	_, err := Create(path, testFP)
+	if !errors.Is(err, ErrExists) {
+		t.Fatalf("err=%v, want ErrExists", err)
+	}
+}
+
+func TestNotAJournalRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "random.txt")
+	os.WriteFile(path, []byte("hello world\n"), 0o644)
+	_, err := Resume(path, testFP)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestNilJournalIsDisabled(t *testing.T) {
+	var j *Journal
+	if err := j.Record("k", cell{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordFailure("k", errors.New("x")); err != nil {
+		t.Fatal(err)
+	}
+	var v cell
+	if ok, err := j.Load("k", &v); ok || err != nil {
+		t.Fatalf("nil Load = (%v, %v), want miss", ok, err)
+	}
+	if j.Len() != 0 {
+		t.Fatal("nil Len != 0")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigHashStable(t *testing.T) {
+	type cfg struct {
+		Warmup  uint64
+		Benches []string
+	}
+	a := ConfigHash(cfg{Warmup: 100, Benches: []string{"gcc"}})
+	b := ConfigHash(cfg{Warmup: 100, Benches: []string{"gcc"}})
+	c := ConfigHash(cfg{Warmup: 200, Benches: []string{"gcc"}})
+	if a != b {
+		t.Fatal("equal configs hash differently")
+	}
+	if a == c {
+		t.Fatal("different configs collide")
+	}
+}

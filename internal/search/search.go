@@ -8,10 +8,15 @@
 package search
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 
 	"mpppb/internal/cache"
 	"mpppb/internal/core"
+	"mpppb/internal/journal"
 	"mpppb/internal/parallel"
 	"mpppb/internal/sim"
 	"mpppb/internal/workload"
@@ -114,8 +119,37 @@ type Evaluator struct {
 	Cfg      sim.Config
 	Params   core.Params // template; Features replaced per evaluation
 	Training []workload.SegmentID
-	// Evals counts simulator invocations (for budget accounting).
+	// Ctx, when set, cancels evaluations: a cancelled MPKI call panics
+	// with the context's error wrapped (the search loops have no error
+	// returns), and the driver recovers it back into an error.
+	Ctx context.Context
+	// Journal, when set, checkpoints each feature set's average MPKI under
+	// a key derived from the set (SetKey), so an interrupted search
+	// resumed with the same seed replays evaluated sets from disk instead
+	// of re-simulating them.
+	Journal *journal.Journal
+	// Evals counts logical evaluations — journal hits included, so a
+	// resumed search reports the same count as an uninterrupted one.
 	Evals int
+}
+
+func (e *Evaluator) ctx() context.Context {
+	if e.Ctx == nil {
+		return context.Background()
+	}
+	return e.Ctx
+}
+
+// SetKey is the journal key of a feature set's training-MPKI evaluation: a
+// short hash of the set's JSON form. The search is seeded, so a resumed
+// run proposes the same sets in the same order and hits these keys.
+func SetKey(set []core.Feature) string {
+	b, err := json.Marshal(set)
+	if err != nil {
+		panic("search: unmarshalable feature set: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return "eval/" + hex.EncodeToString(sum[:8])
 }
 
 // NewEvaluator builds an evaluator over the given training segments using
@@ -130,9 +164,17 @@ func NewEvaluator(cfg sim.Config, training []workload.SegmentID) *Evaluator {
 // the evaluation level — and per-segment MPKIs are summed in training
 // order, so the average is bit-identical to a serial evaluation.
 func (e *Evaluator) MPKI(set []core.Feature) float64 {
+	e.Evals += len(e.Training)
+	key := SetKey(set)
+	var memo float64
+	if ok, err := e.Journal.Load(key, &memo); err != nil {
+		panic(fmt.Errorf("search: %w", err))
+	} else if ok {
+		return memo
+	}
 	params := e.Params
 	params.Features = set
-	mpkis, err := parallel.Map(0, len(e.Training), func(i int) (float64, error) {
+	mpkis, err := parallel.MapCtx(e.ctx(), 0, len(e.Training), func(_ context.Context, i int) (float64, error) {
 		gen := workload.NewGenerator(e.Training[i], workload.CoreBase(0))
 		res := sim.RunFastMPKI(e.Cfg, gen, func(sets, ways int) cache.ReplacementPolicy {
 			return core.NewMPPPB(sets, ways, params)
@@ -140,14 +182,19 @@ func (e *Evaluator) MPKI(set []core.Feature) float64 {
 		return res.MPKI, nil
 	})
 	if err != nil {
-		panic("search: " + err.Error())
+		// Wrap rather than stringify so a recovering driver can still
+		// match context.Canceled with errors.Is.
+		panic(fmt.Errorf("search: %w", err))
 	}
 	var sum float64
 	for _, m := range mpkis {
 		sum += m
 	}
-	e.Evals += len(e.Training)
-	return sum / float64(len(e.Training))
+	avg := sum / float64(len(e.Training))
+	if err := e.Journal.Record(key, avg); err != nil {
+		panic(fmt.Errorf("search: %w", err))
+	}
+	return avg
 }
 
 // RandomSearch evaluates n random feature sets and returns them with their

@@ -1,8 +1,15 @@
 package search
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
 	"mpppb/internal/cache"
 	"mpppb/internal/core"
+	"mpppb/internal/journal"
 	"mpppb/internal/parallel"
 	"mpppb/internal/sim"
 	"mpppb/internal/workload"
@@ -16,17 +23,47 @@ import (
 // yielding the minimum average MPKI."
 
 // ThresholdEvaluator measures average MPKI of an MPPPB parameterization
-// over training segments with the fast simulator.
+// over training segments with the fast simulator. Ctx and Journal behave
+// as on Evaluator: cancellation panics with a wrapped context error, and
+// journaled parameterizations (keyed by ParamsKey) replay from disk.
 type ThresholdEvaluator struct {
 	Cfg      sim.Config
 	Training []workload.SegmentID
+	Ctx      context.Context
+	Journal  *journal.Journal
 	Evals    int
+}
+
+func (e *ThresholdEvaluator) ctx() context.Context {
+	if e.Ctx == nil {
+		return context.Background()
+	}
+	return e.Ctx
+}
+
+// ParamsKey is the journal key of a parameterization's training-MPKI
+// evaluation: a short hash of the params' JSON form.
+func ParamsKey(params core.Params) string {
+	b, err := json.Marshal(params)
+	if err != nil {
+		panic("search: unmarshalable params: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return "tune/" + hex.EncodeToString(sum[:8])
 }
 
 // MPKI evaluates one parameterization. Training segments fan across the
 // worker pool and sum in order (see Evaluator.MPKI).
 func (e *ThresholdEvaluator) MPKI(params core.Params) float64 {
-	mpkis, err := parallel.Map(0, len(e.Training), func(i int) (float64, error) {
+	e.Evals += len(e.Training)
+	key := ParamsKey(params)
+	var memo float64
+	if ok, err := e.Journal.Load(key, &memo); err != nil {
+		panic(fmt.Errorf("search: %w", err))
+	} else if ok {
+		return memo
+	}
+	mpkis, err := parallel.MapCtx(e.ctx(), 0, len(e.Training), func(_ context.Context, i int) (float64, error) {
 		gen := workload.NewGenerator(e.Training[i], workload.CoreBase(0))
 		res := sim.RunFastMPKI(e.Cfg, gen, func(sets, ways int) cache.ReplacementPolicy {
 			return core.NewMPPPB(sets, ways, params)
@@ -34,14 +71,17 @@ func (e *ThresholdEvaluator) MPKI(params core.Params) float64 {
 		return res.MPKI, nil
 	})
 	if err != nil {
-		panic("search: " + err.Error())
+		panic(fmt.Errorf("search: %w", err))
 	}
 	var sum float64
 	for _, m := range mpkis {
 		sum += m
 	}
-	e.Evals += len(e.Training)
-	return sum / float64(len(e.Training))
+	avg := sum / float64(len(e.Training))
+	if err := e.Journal.Record(key, avg); err != nil {
+		panic(fmt.Errorf("search: %w", err))
+	}
+	return avg
 }
 
 // SearchTau0 exhaustively sweeps the bypass threshold over [lo, hi] with

@@ -74,13 +74,16 @@ func TestSingleThreadTableSerialParallelIdentical(t *testing.T) {
 	benches := workload.Benchmarks()[:2]
 	policies := []string{"sdbp", "mpppb"}
 
+	single := func() string {
+		tab, err := experiments.SingleThread(cfg, policies, benches, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return renderSingle(tab)
+	}
 	var serial, par string
-	withWorkers(1, func() {
-		serial = renderSingle(experiments.SingleThread(cfg, policies, benches, nil))
-	})
-	withWorkers(8, func() {
-		par = renderSingle(experiments.SingleThread(cfg, policies, benches, nil))
-	})
+	withWorkers(1, func() { serial = single() })
+	withWorkers(8, func() { par = single() })
 	if serial != par {
 		t.Fatalf("single-thread table differs between -j1 and -j8:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, par)
 	}
@@ -92,13 +95,16 @@ func TestMultiCoreTableSerialParallelIdentical(t *testing.T) {
 	mixes := workload.Mixes(3, workload.DefaultMixSeed)
 	policies := []string{"srrip", "mpppb-srrip"}
 
+	multi := func() string {
+		tab, err := experiments.MultiCore(cfg, policies, mixes, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return renderMulti(tab)
+	}
 	var serial, par string
-	withWorkers(1, func() {
-		serial = renderMulti(experiments.MultiCore(cfg, policies, mixes, nil))
-	})
-	withWorkers(8, func() {
-		par = renderMulti(experiments.MultiCore(cfg, policies, mixes, nil))
-	})
+	withWorkers(1, func() { serial = multi() })
+	withWorkers(8, func() { par = multi() })
 	if serial != par {
 		t.Fatalf("multi-core table differs between -j1 and -j8:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, par)
 	}

@@ -1,0 +1,53 @@
+package sim
+
+// The journal persists experiment cells as JSON (see internal/journal), so
+// simulation results must survive an encode/decode cycle bit-exactly —
+// encoding/json emits the shortest float64 form that round-trips, and a
+// resumed run substitutes decoded cells for computed ones in byte-compared
+// TSVs.
+
+import (
+	"encoding/json"
+	"testing"
+
+	"mpppb/internal/workload"
+)
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	cfg := shortCfg()
+	pf, _ := Policy("mpppb")
+	gen := workload.NewGenerator(seg("sphinx3_like", 1), 0)
+	res := RunSingle(cfg, gen, pf).Deterministic()
+
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != res {
+		t.Fatalf("Result changed across JSON round trip:\n in: %+v\nout: %+v", res, back)
+	}
+}
+
+func TestMultiResultJSONRoundTrip(t *testing.T) {
+	cfg := MultiCoreConfig()
+	cfg.Warmup, cfg.Measure = 30_000, 90_000
+	mix := workload.Mixes(1, 7)[0]
+	pf, _ := Policy("mpppb-srrip")
+	res := RunMulti(cfg, mix, pf)
+
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back MultiResult
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != res {
+		t.Fatalf("MultiResult changed across JSON round trip:\n in: %+v\nout: %+v", res, back)
+	}
+}

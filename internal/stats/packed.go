@@ -1,0 +1,31 @@
+package stats
+
+// PackedROC is the JSON-friendly form of an ROC sample list for the
+// checkpoint journal: millions of {Confidence, Dead} pairs serialize as
+// two parallel arrays (confidences and 0/1 outcomes) instead of an object
+// per sample, roughly a 10x size reduction on disk.
+type PackedROC struct {
+	C []int   `json:"c"`
+	D []uint8 `json:"d"`
+}
+
+// PackROC converts samples to the packed form.
+func PackROC(samples []ROCSample) PackedROC {
+	p := PackedROC{C: make([]int, len(samples)), D: make([]uint8, len(samples))}
+	for i, s := range samples {
+		p.C[i] = s.Confidence
+		if s.Dead {
+			p.D[i] = 1
+		}
+	}
+	return p
+}
+
+// Unpack restores the sample list. Inverse of PackROC.
+func (p PackedROC) Unpack() []ROCSample {
+	samples := make([]ROCSample, len(p.C))
+	for i := range p.C {
+		samples[i] = ROCSample{Confidence: p.C[i], Dead: i < len(p.D) && p.D[i] != 0}
+	}
+	return samples
+}

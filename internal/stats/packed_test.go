@@ -1,0 +1,35 @@
+package stats
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestPackedROCRoundTrip(t *testing.T) {
+	samples := []ROCSample{
+		{Confidence: -5, Dead: true},
+		{Confidence: 0, Dead: false},
+		{Confidence: 127, Dead: true},
+		{Confidence: 3, Dead: false},
+	}
+	p := PackROC(samples)
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q PackedROC
+	if err := json.Unmarshal(b, &q); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Unpack(); !reflect.DeepEqual(got, samples) {
+		t.Fatalf("round-trip %+v, want %+v", got, samples)
+	}
+}
+
+func TestPackedROCEmpty(t *testing.T) {
+	p := PackROC(nil)
+	if got := p.Unpack(); len(got) != 0 {
+		t.Fatalf("empty round-trip produced %d samples", len(got))
+	}
+}

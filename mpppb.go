@@ -164,7 +164,7 @@ type FeatureSearchResult = experiments.Fig3Result
 
 // FeatureSearch runs the paper's feature-development methodology
 // (Section 5.1, Figure 3) at the configured budget.
-func FeatureSearch(opts FeatureSearchOptions) *FeatureSearchResult {
+func FeatureSearch(opts FeatureSearchOptions) (*FeatureSearchResult, error) {
 	cfg := sim.SingleThreadConfig()
 	if opts.Warmup > 0 {
 		cfg.Warmup = opts.Warmup

@@ -112,7 +112,7 @@ func TestNewGeneratorFacade(t *testing.T) {
 }
 
 func TestFeatureSearchFacade(t *testing.T) {
-	res := FeatureSearch(FeatureSearchOptions{
+	res, err := FeatureSearch(FeatureSearchOptions{
 		RandomSets: 2,
 		ClimbSteps: 2,
 		Training:   2,
@@ -120,6 +120,9 @@ func TestFeatureSearchFacade(t *testing.T) {
 		Measure:    80_000,
 		Seed:       1,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.RandomMPKI) != 2 {
 		t.Fatalf("%d random sets", len(res.RandomMPKI))
 	}
