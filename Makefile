@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-hotpath bench-record experiments results resume-smoke cover clean
+.PHONY: all build test vet race bench bench-hotpath bench-record experiments results resume-smoke cover fuzz clean
 
 all: build test
 
@@ -13,7 +13,8 @@ vet:
 	$(GO) vet ./...
 
 test: vet
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
+	$(GO) test -tags verify ./internal/cache ./internal/verify
 
 # Race-detector pass over the concurrent packages: the worker pool, the
 # single-flight caches, and the experiment drivers that fan across them.
@@ -45,8 +46,20 @@ results:
 resume-smoke:
 	scripts/resume_smoke.sh
 
+# Coverage gate: per-package report plus a total-% floor
+# (see scripts/cover.sh; override with COVER_BASELINE=<pct>).
 cover:
-	$(GO) test -cover ./...
+	scripts/cover.sh
+
+# Smoke-budget run of every native fuzz target (the corpora double as
+# regression tests under plain `go test`). One -fuzz per invocation, as
+# `go test` requires.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run NONE -fuzz FuzzPredictorKernel -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run NONE -fuzz FuzzCacheOps -fuzztime $(FUZZTIME) ./internal/verify
+	$(GO) test -run NONE -fuzz FuzzJournalLoad -fuzztime $(FUZZTIME) ./internal/journal
+	$(GO) test -run NONE -fuzz FuzzTraceRoundTrip -fuzztime $(FUZZTIME) ./internal/trace
 
 clean:
 	rm -rf results

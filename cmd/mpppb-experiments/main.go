@@ -63,10 +63,10 @@ type runner struct {
 	table3Segs   int
 	// opts carries cancellation, checkpointing, fault handling and
 	// progress into every experiment; nil means all defaults.
-	opts *experiments.Run
-	plot bool
-	stPolicies   []string
-	mcPolicies   []string
+	opts       *experiments.Run
+	plot       bool
+	stPolicies []string
+	mcPolicies []string
 	// stBenches restricts fig6/fig7 to a benchmark subset (nil = full
 	// suite); used by -benches and the golden-output tests.
 	stBenches []string
@@ -124,6 +124,7 @@ func main() {
 		mcPols  = flag.String("mc-policies", "", "override multi-core policy list (comma-separated)")
 		benches = flag.String("benches", "", "restrict fig6/fig7 to these benchmarks (comma-separated)")
 		j       = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for independent runs (1 = serial; output is identical at any -j)")
+		check   = flag.Bool("check", false, "run the lockstep verification layer on every cache (slow; a divergence aborts with the access index and set dump)")
 	)
 	jf := journal.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -144,6 +145,8 @@ func main() {
 	}
 	r.stCfg.Warmup, r.stCfg.Measure = *warmup, *measure
 	r.mcCfg.Warmup, r.mcCfg.Measure = *warmup, *measure
+	r.stCfg.Check = *check
+	r.mcCfg.Check = *check
 	if *stPols != "" {
 		r.stPolicies = strings.Split(*stPols, ",")
 	} else {

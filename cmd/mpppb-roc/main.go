@@ -36,6 +36,7 @@ func main() {
 		predictors = flag.String("predictor", "sdbp,perceptron,mpppb", "comma-separated predictors")
 		warmup     = flag.Uint64("warmup", sim.DefaultWarmup, "warmup instructions")
 		measure    = flag.Uint64("measure", sim.DefaultMeasure, "measured instructions")
+		check      = flag.Bool("check", false, "run the lockstep verification layer on every cache (slow; a divergence aborts with the access index and set dump)")
 		summary    = flag.Bool("summary", false, "print only AUC and band TPRs")
 		j          = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for independent runs (1 = serial)")
 	)
@@ -46,6 +47,7 @@ func main() {
 
 	cfg := mpppb.SingleThreadConfig()
 	cfg.Warmup, cfg.Measure = *warmup, *measure
+	cfg.Check = *check
 
 	var ids []mpppb.SegmentID
 	for _, b := range workload.Benchmarks() {

@@ -36,6 +36,7 @@ func main() {
 		training = flag.Int("training", 8, "training segments drawn across the suite")
 		warmup   = flag.Uint64("warmup", 300_000, "warmup instructions per evaluation")
 		measure  = flag.Uint64("measure", 1_000_000, "measured instructions per evaluation")
+		check    = flag.Bool("check", false, "run the lockstep verification layer on every cache (slow; a divergence aborts with the access index and set dump)")
 		seed     = flag.Uint64("seed", 2017, "search seed")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 		j        = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines; each feature-set evaluation fans its training segments across them (1 = serial)")
@@ -47,6 +48,7 @@ func main() {
 
 	cfg := sim.SingleThreadConfig()
 	cfg.Warmup, cfg.Measure = *warmup, *measure
+	cfg.Check = *check
 
 	type fingerprintConfig struct {
 		Tool     string `json:"tool"`

@@ -39,6 +39,7 @@ func main() {
 		policies = flag.String("policy", "lru,mpppb", "comma-separated policy names (see -list)")
 		warmup   = flag.Uint64("warmup", sim.DefaultWarmup, "warmup instructions")
 		measure  = flag.Uint64("measure", sim.DefaultMeasure, "measured instructions")
+		check    = flag.Bool("check", false, "run the lockstep verification layer on every cache (slow; a divergence aborts with the access index and set dump)")
 		list     = flag.Bool("list", false, "list benchmarks and policies, then exit")
 		verbose  = flag.Bool("v", false, "after mpppb runs, print decision counters and per-feature weight statistics")
 		j        = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for independent runs (1 = serial)")
@@ -61,6 +62,7 @@ func main() {
 	cfg := sim.SingleThreadConfig()
 	cfg.Warmup = *warmup
 	cfg.Measure = *measure
+	cfg.Check = *check
 
 	var benches []string
 	if *bench == "all" {

@@ -36,6 +36,7 @@ func main() {
 		dim      = flag.String("dim", "llc", "sweep dimension: llc (capacity) or mem (DRAM latency)")
 		warmup   = flag.Uint64("warmup", sim.DefaultWarmup, "warmup instructions")
 		measure  = flag.Uint64("measure", sim.DefaultMeasure, "measured instructions")
+		check    = flag.Bool("check", false, "run the lockstep verification layer on every cache (slow; a divergence aborts with the access index and set dump)")
 		j        = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for independent runs (1 = serial)")
 	)
 	jf := journal.RegisterFlags(flag.CommandLine)
@@ -57,6 +58,7 @@ func main() {
 	var points []point
 	base := mpppb.SingleThreadConfig()
 	base.Warmup, base.Measure = *warmup, *measure
+	base.Check = *check
 	switch *dim {
 	case "llc":
 		for _, mb := range []int{1, 2, 4, 8} {

@@ -47,6 +47,7 @@ func main() {
 		policies = flag.String("policy", "lru,mpppb", "policies for -replay")
 		warmup   = flag.Uint64("warmup", sim.DefaultWarmup, "warmup instructions for -replay")
 		measure  = flag.Uint64("measure", sim.DefaultMeasure, "measured instructions for -replay")
+		check    = flag.Bool("check", false, "run the lockstep verification layer on every cache (slow; a divergence aborts with the access index and set dump)")
 		j        = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for independent runs (1 = serial)")
 	)
 	jf := journal.RegisterFlags(flag.CommandLine)
@@ -150,6 +151,7 @@ func main() {
 		recs, hash := loadHashed(*replay)
 		cfg := sim.SingleThreadConfig()
 		cfg.Warmup, cfg.Measure = *warmup, *measure
+		cfg.Check = *check
 
 		type fingerprintConfig struct {
 			Tool    string `json:"tool"`

@@ -39,6 +39,7 @@ func main() {
 		combos   = flag.Int("combos", 200, "random feasible combinations to try")
 		warmup   = flag.Uint64("warmup", 400_000, "warmup instructions")
 		measure  = flag.Uint64("measure", 1_200_000, "measured instructions")
+		check    = flag.Bool("check", false, "run the lockstep verification layer on every cache (slow; a divergence aborts with the access index and set dump)")
 		seed     = flag.Uint64("seed", 55, "search seed")
 		tau0step = flag.Int("tau0-step", 16, "exhaustive tau0 sweep step")
 		j        = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines; each evaluation fans its training segments across them (1 = serial)")
@@ -55,6 +56,7 @@ func main() {
 		params.Cores = 1 // tuned on single-thread MPKI runs, as a fast proxy
 	}
 	cfg.Warmup, cfg.Measure = *warmup, *measure
+	cfg.Check = *check
 
 	type fingerprintConfig struct {
 		Tool     string `json:"tool"`

@@ -1,0 +1,6 @@
+//go:build !verify
+
+package cache
+
+// verifyAsserts is false in normal builds; see assert_on.go.
+const verifyAsserts = false

@@ -1,0 +1,8 @@
+//go:build verify
+
+package cache
+
+// verifyAsserts enables inline structural assertions in the access hot
+// path. It is a compile-time constant so the unverified build carries no
+// branch at all: the assertion calls are dead-code eliminated.
+const verifyAsserts = true

@@ -116,6 +116,18 @@ type Result struct {
 	ReadyAt uint64
 }
 
+// Observer receives every completed cache operation. The verification
+// layer attaches one to run a naive reference cache model in lockstep
+// with the production array; when none is attached the cost is a single
+// nil check per access.
+type Observer interface {
+	// OnAccess is invoked after an Access completes, with the final result.
+	OnAccess(a Access, r Result)
+	// OnInvalidate is invoked after an Invalidate, whether or not the
+	// block was present.
+	OnInvalidate(blockAddr uint64, present bool)
+}
+
 // Cache is one level of set-associative cache.
 type Cache struct {
 	name    string
@@ -124,6 +136,7 @@ type Cache struct {
 	setMask uint64
 	frames  []blockFrame // sets*ways, row-major by set
 	policy  ReplacementPolicy
+	obs     Observer
 
 	// Stats accumulates event counts; callers may read or reset it
 	// between measurement phases.
@@ -174,6 +187,15 @@ func (c *Cache) SizeBytes() int { return c.sets * c.ways * trace.BlockSize }
 // Policy returns the attached replacement policy.
 func (c *Cache) Policy() ReplacementPolicy { return c.policy }
 
+// SetObserver attaches an observer (nil detaches). Observers see every
+// Access and Invalidate after it completes.
+func (c *Cache) SetObserver(obs Observer) { c.obs = obs }
+
+// SetPolicy replaces the attached replacement policy. The verification
+// layer uses it to interpose a shadow wrapper before the first access;
+// swapping mid-run would lose per-block replacement state.
+func (c *Cache) SetPolicy(p ReplacementPolicy) { c.policy = p }
+
 // SetIndex returns the set index for a block address.
 func (c *Cache) SetIndex(blockAddr uint64) int { return int(blockAddr & c.setMask) }
 
@@ -215,6 +237,19 @@ func (c *Cache) IsPrefetchedAt(set, way int) bool { return c.frame(set, way).pre
 // simulator fills bottom-up, so lower levels are accessed before upper
 // levels install).
 func (c *Cache) Access(a Access) Result {
+	r := c.access(a)
+	if verifyAsserts {
+		c.assertSetWellFormed(r.Set)
+	}
+	if c.obs != nil {
+		c.obs.OnAccess(a, r)
+	}
+	return r
+}
+
+// access is the lookup-and-fill body; Access wraps it with the optional
+// observer notification and build-tag assertions.
+func (c *Cache) access(a Access) Result {
 	blockAddr := a.Block()
 	set := c.SetIndex(blockAddr)
 
@@ -315,16 +350,57 @@ func (c *Cache) fill(set int, blockAddr uint64, a Access) Result {
 // and dirty. The policy's Evict hook is notified.
 func (c *Cache) Invalidate(blockAddr uint64) (present, dirty bool) {
 	set, way := c.Lookup(blockAddr)
-	if way < 0 {
-		return false, false
+	if way >= 0 {
+		f := c.frame(set, way)
+		present, dirty = true, f.dirty
+		c.policy.Evict(set, way, f.addr)
+		f.valid = false
+		f.dirty = false
+		f.prefetched = false
 	}
-	f := c.frame(set, way)
-	dirty = f.dirty
-	c.policy.Evict(set, way, f.addr)
-	f.valid = false
-	f.dirty = false
-	f.prefetched = false
-	return true, dirty
+	if c.obs != nil {
+		c.obs.OnInvalidate(blockAddr, present)
+	}
+	return present, dirty
+}
+
+// DumpSet renders the frames of one set for divergence diagnostics.
+func (c *Cache) DumpSet(set int) string {
+	s := fmt.Sprintf("%s set %d:", c.name, set)
+	for w := 0; w < c.ways; w++ {
+		f := c.frame(set, w)
+		if !f.valid {
+			s += fmt.Sprintf(" [%d: -]", w)
+			continue
+		}
+		flags := ""
+		if f.dirty {
+			flags += "D"
+		}
+		if f.prefetched {
+			flags += "P"
+		}
+		s += fmt.Sprintf(" [%d: %#x %s]", w, f.addr, flags)
+	}
+	return s
+}
+
+// assertSetWellFormed panics if a set holds two valid frames with the same
+// block address. Compiled in only under the verify build tag.
+func (c *Cache) assertSetWellFormed(set int) {
+	for w := 0; w < c.ways; w++ {
+		f := c.frame(set, w)
+		if !f.valid {
+			continue
+		}
+		for w2 := w + 1; w2 < c.ways; w2++ {
+			g := c.frame(set, w2)
+			if g.valid && g.addr == f.addr {
+				panic(fmt.Sprintf("cache %s: duplicate block %#x in ways %d and %d of %s",
+					c.name, f.addr, w, w2, c.DumpSet(set)))
+			}
+		}
+	}
 }
 
 // SetReadyAt records the cycle at which the data for the block in

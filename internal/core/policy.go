@@ -159,6 +159,57 @@ func NewMPPPB(sets, ways int, params Params) *MPPPB {
 // Predictor exposes the underlying predictor (for accuracy probes).
 func (m *MPPPB) Predictor() *Predictor { return m.pred }
 
+// Params returns the policy's configuration. The verification layer uses
+// it to construct a lockstep reference predictor with identical geometry.
+func (m *MPPPB) Params() Params { return m.params }
+
+// MDPP returns the underlying MDPP default policy, or nil when the policy
+// runs over SRRIP. Exposed for the verification layer.
+func (m *MPPPB) MDPP() *policy.MDPP { return m.mdpp }
+
+// SRRIP returns the underlying SRRIP default policy, or nil when the
+// policy runs over MDPP. Exposed for the verification layer.
+func (m *MPPPB) SRRIP() *policy.SRRIP { return m.srrip }
+
+// ForEachSamplerEntry visits every valid sampler entry with its sampler
+// set, LRU position, partial tag, and stored confidence. Exposed for the
+// verification layer's lockstep sampler comparison.
+func (m *MPPPB) ForEachSamplerEntry(fn func(set, pos int, tag uint16, conf int)) {
+	s := m.sampler
+	for set := 0; set < s.sets; set++ {
+		for w := 0; w < SamplerWays; w++ {
+			e := &s.entries[set*SamplerWays+w]
+			if e.valid {
+				fn(set, int(e.pos), e.tag, int(e.conf))
+			}
+		}
+	}
+}
+
+// CheckInvariants validates the policy's structural invariants: placement
+// and promotion positions within the default policy's position space,
+// weights within saturation bounds, and well-formed sampler LRU state.
+// It returns the first violation found, or nil. Intended for the -check
+// verification layer; it is read-only and safe to call at any point.
+func (m *MPPPB) CheckInvariants() error {
+	limit := int(policy.RRPVMax) + 1
+	if m.mdpp != nil {
+		limit = m.mdpp.Positions()
+	}
+	for i, pi := range m.params.Pi {
+		if pi < 0 || pi >= limit {
+			return fmt.Errorf("core: placement position Pi[%d]=%d outside [0,%d)", i, pi, limit)
+		}
+	}
+	if m.params.PromotePos < 0 || m.params.PromotePos >= limit {
+		return fmt.Errorf("core: promotion position %d outside [0,%d)", m.params.PromotePos, limit)
+	}
+	if err := m.pred.checkWeights(); err != nil {
+		return err
+	}
+	return m.sampler.checkInvariants()
+}
+
 // Name implements cache.ReplacementPolicy.
 func (m *MPPPB) Name() string {
 	if m.params.Default == DefaultMDPP {

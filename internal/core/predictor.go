@@ -194,6 +194,30 @@ func clampConf(v int) int {
 	return v
 }
 
+// ForEachWeight visits every weight, in feature order then index order.
+// The verification layer uses it to compare the production tables against
+// a lockstep reference and to check saturation bounds.
+func (p *Predictor) ForEachWeight(fn func(feature, index int, w int8)) {
+	for i, t := range p.tables {
+		for ix, w := range t {
+			fn(i, ix, w)
+		}
+	}
+}
+
+// checkWeights verifies every weight is within the 6-bit saturation range.
+func (p *Predictor) checkWeights() error {
+	for i, t := range p.tables {
+		for ix, w := range t {
+			if w < WeightMin || w > WeightMax {
+				return fmt.Errorf("core: weight table %d index %d holds %d outside [%d,%d]",
+					i, ix, w, WeightMin, WeightMax)
+			}
+		}
+	}
+	return nil
+}
+
 // String summarizes the predictor configuration.
 func (p *Predictor) String() string {
 	return fmt.Sprintf("multiperspective(%d features, %d index bits)", len(p.features), p.TotalIndexBits())

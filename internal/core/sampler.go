@@ -1,5 +1,7 @@
 package core
 
+import "fmt"
+
 // The sampler (Section 3.3): a small number of LLC sets are designated as
 // sampled; each has a corresponding 18-way, true-LRU-managed set of partial
 // tags and metadata. Every access to a sampled set trains the predictor:
@@ -191,6 +193,30 @@ func (s *sampler) trainDemoted(p *Predictor, set, way, newPos int) {
 			p.bump(i, dIdx[i], true)
 		}
 	}
+}
+
+// checkInvariants validates sampler LRU structure: every valid entry's
+// position is in [0, SamplerWays) and no two valid entries of a set share
+// a position — demotion is position-ordered, so a duplicated or
+// out-of-range position silently corrupts training boundaries.
+func (s *sampler) checkInvariants() error {
+	for set := 0; set < s.sets; set++ {
+		var seen [SamplerWays]bool
+		for w := 0; w < SamplerWays; w++ {
+			e := &s.entries[set*SamplerWays+w]
+			if !e.valid {
+				continue
+			}
+			if int(e.pos) >= SamplerWays {
+				return fmt.Errorf("core: sampler set %d way %d at position %d >= %d", set, w, e.pos, SamplerWays)
+			}
+			if seen[e.pos] {
+				return fmt.Errorf("core: sampler set %d has two blocks at position %d", set, e.pos)
+			}
+			seen[e.pos] = true
+		}
+	}
+	return nil
 }
 
 // SizeBits estimates sampler storage: per entry, the index vector plus

@@ -1,0 +1,107 @@
+package cpu
+
+// Property tests of the timing model's structural guarantees: retirement
+// is in order (every instruction retires in a strictly later slot than its
+// predecessor), retire bandwidth bounds IPC from above for any input, and
+// memory-level parallelism is bounded by the instruction window — N misses
+// of latency L cannot finish faster than N·L/Window cycles nor slower than
+// fully serialized.
+
+import (
+	"testing"
+
+	"mpppb/internal/xrand"
+)
+
+// TestRetireOrderProperty drives random instruction mixes and asserts the
+// in-order-retire invariant directly on the model's retire slots: each
+// instruction's retire slot strictly exceeds the previous one's, and the
+// clock never moves backward.
+func TestRetireOrderProperty(t *testing.T) {
+	for _, cfg := range []Config{{Width: 1, Window: 1}, {Width: 2, Window: 8}, {Width: 4, Window: 128}} {
+		c := New(cfg)
+		rng := xrand.New(uint64(cfg.Width)<<8 | uint64(cfg.Window))
+		prevRetire := c.lastRetire
+		prevNow := c.Now()
+		for i := 0; i < 50_000; i++ {
+			if rng.Bool() {
+				c.NonMem(1 + rng.Intn(3))
+			} else {
+				c.Mem(1 + rng.Intn(300))
+			}
+			if c.lastRetire <= prevRetire {
+				t.Fatalf("cfg %+v: retire slot went %d -> %d (out of order)", cfg, prevRetire, c.lastRetire)
+			}
+			if now := c.Now(); now < prevNow {
+				t.Fatalf("cfg %+v: clock went backward %d -> %d", cfg, prevNow, now)
+			} else {
+				prevNow = now
+			}
+			prevRetire = c.lastRetire
+		}
+	}
+}
+
+// TestRetireBandwidthProperty: for arbitrary mixes, retiring Width
+// instructions per cycle is a hard ceiling — Cycles·Width >= Instructions,
+// measured both from construction and across a mid-stream ResetStats.
+func TestRetireBandwidthProperty(t *testing.T) {
+	c := New(DefaultConfig())
+	rng := xrand.New(42)
+	drive := func(n int) {
+		for i := 0; i < n; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				c.NonMem(rng.Intn(5))
+			case 1:
+				c.Mem(1)
+			default:
+				c.Mem(1 + rng.Intn(250))
+			}
+		}
+	}
+	check := func(tag string) {
+		if got, limit := c.Instructions(), c.Cycles()*uint64(c.cfg.Width); got > limit {
+			t.Fatalf("%s: %d instructions retired in %d cycles exceeds width %d",
+				tag, got, c.Cycles(), c.cfg.Width)
+		}
+	}
+	drive(30_000)
+	check("from construction")
+	c.ResetStats()
+	drive(30_000)
+	check("after ResetStats")
+}
+
+// TestMLPBoundedByWindow: N independent misses of latency L overlap at
+// most Window-wide and at least not at all, so measured cycles land in
+// [N·L/Window, N·L + N/Width] with slack for pipeline fill and drain.
+func TestMLPBoundedByWindow(t *testing.T) {
+	const (
+		n   = 4_000
+		lat = 200
+	)
+	for _, window := range []int{16, 64, 128} {
+		c := New(Config{Width: 4, Window: window})
+		for i := 0; i < n; i++ {
+			c.Mem(lat)
+		}
+		cycles := c.Cycles()
+		// Steady state advances lat·Width-1 slots per Window instructions
+		// (an instruction completes in the last slot of its latency's final
+		// cycle), hence the -1 inside the slot-exact lower bound.
+		lower := uint64(n) * (lat*4 - 1) / (uint64(window) * 4)
+		upper := uint64(n)*lat + uint64(n)/4 + lat
+		if cycles < lower {
+			t.Errorf("window %d: %d cycles beats the window MLP bound %d", window, cycles, lower)
+		}
+		if cycles > upper {
+			t.Errorf("window %d: %d cycles slower than fully serialized bound %d", window, cycles, upper)
+		}
+		// The model should actually exploit the window: well under half
+		// the serialized time for any window that overlaps several misses.
+		if window >= 16 && cycles > uint64(n)*lat/2 {
+			t.Errorf("window %d: %d cycles shows no overlap (serialized would be ~%d)", window, cycles, n*lat)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestBarsNegativeValues: charts spanning zero scale against the full
+// min..max range and never panic; the most negative value draws an empty
+// bar.
+func TestBarsNegativeValues(t *testing.T) {
+	out := Bars("delta", 12, []string{"worse", "flat", "better"}, []float64{-2, 0, 3})
+	lines := strings.Split(out, "\n")
+	if strings.Count(lines[1], "█") != 0 {
+		t.Fatalf("minimum value should draw an empty bar:\n%s", out)
+	}
+	if strings.Count(lines[3], "█") != 12 {
+		t.Fatalf("maximum value should fill the width:\n%s", out)
+	}
+	if !strings.Contains(out, "-2.0000") {
+		t.Fatalf("negative value label missing:\n%s", out)
+	}
+}
+
+// TestBarsWidthClamp: tiny widths are clamped rather than producing
+// degenerate output.
+func TestBarsWidthClamp(t *testing.T) {
+	out := Bars("w", 1, []string{"a"}, []float64{1})
+	if strings.Count(out, "█") < 10 {
+		t.Fatalf("width clamp not applied:\n%s", out)
+	}
+}
+
+// TestSCurveMonotonePresentation: an S-curve plots values ascending, so
+// scanning canvas columns left to right, marker heights never rise on the
+// page (row index never decreases... i.e. never moves toward the top).
+func TestSCurveMonotonePresentation(t *testing.T) {
+	out := SCurve("s", 30, 8, Series{Name: "v", Y: []float64{5, 1, 4, 2, 3, 0, 6}})
+	lines := strings.Split(out, "\n")
+	canvas := lines[1 : 1+8]
+	best := -1 // last row (from bottom) holding a marker
+	for col := 0; col < 30; col++ {
+		for row := len(canvas) - 1; row >= 0; row-- {
+			if col < len(canvas[row]) && canvas[row][col] == '*' {
+				fromBottom := len(canvas) - 1 - row
+				if fromBottom < best {
+					t.Fatalf("sorted curve dips at column %d:\n%s", col, out)
+				}
+				best = fromBottom
+			}
+		}
+	}
+	if best < 0 {
+		t.Fatalf("no markers on canvas:\n%s", out)
+	}
+}
+
+// TestInsertionSortProperty: the plot package's tiny sorter must agree
+// with a sortedness check for arbitrary inputs and preserve length.
+func TestInsertionSortProperty(t *testing.T) {
+	err := quick.Check(func(xs []float64) bool {
+		ys := append([]float64(nil), xs...)
+		insertionSort(ys)
+		if len(ys) != len(xs) {
+			return false
+		}
+		for i := 1; i < len(ys); i++ {
+			if ys[i] < ys[i-1] {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -38,6 +38,12 @@ func NewTreePLRU(sets, ways int) *TreePLRU {
 // Levels returns the tree depth (log2 of the associativity).
 func (t *TreePLRU) Levels() int { return t.levels }
 
+// Bits returns the packed direction bits of one set's tree (heap order,
+// node 1 is the root). Exposed for the differential-oracle verification
+// layer, which compares the production tree against a naive reference
+// after every hook.
+func (t *TreePLRU) Bits(set int) uint32 { return t.bits[set] }
+
 // Ways returns the associativity.
 func (t *TreePLRU) Ways() int { return t.ways }
 
@@ -148,6 +154,9 @@ func NewMDPP(sets, ways int) *MDPP {
 
 // Positions returns the number of distinct recency positions (== ways).
 func (m *MDPP) Positions() int { return m.tree.ways }
+
+// Tree exposes the underlying PLRU tree for the verification layer.
+func (m *MDPP) Tree() *TreePLRU { return m.tree }
 
 // maskFor converts a position to a per-level touch mask. The mask's
 // level-0 (root) bit comes from the position's most significant bit so

@@ -1,0 +1,119 @@
+package sim_test
+
+// Tests of the -check verification layer at the simulation level: checked
+// runs must complete real workload segments with zero divergences, produce
+// byte-identical results to unchecked runs (the layer observes, never
+// steers), and preserve the -j determinism guarantee.
+
+import (
+	"fmt"
+	"testing"
+
+	"mpppb/internal/sim"
+	"mpppb/internal/workload"
+)
+
+// checkBudgets keeps checked runs fast while still cycling the LLC.
+const (
+	checkWarmup  = 20_000
+	checkMeasure = 60_000
+)
+
+// TestCheckedRunClean runs every oracled LLC policy through a checked
+// single-thread simulation of a real workload segment. Any divergence
+// panics inside RunSingle and fails the test.
+func TestCheckedRunClean(t *testing.T) {
+	for _, name := range []string{"lru", "plru", "srrip", "mdpp", "mpppb", "mpppb-srrip"} {
+		t.Run(name, func(t *testing.T) {
+			cfg := sim.SingleThreadConfig()
+			cfg.Warmup, cfg.Measure = checkWarmup, checkMeasure
+			cfg.Check = true
+			pf, err := sim.Policy(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen := workload.NewGenerator(workload.Segments()[0], 0)
+			res := sim.RunSingle(cfg, gen, pf)
+			if res.Instructions == 0 {
+				t.Fatal("checked run measured no instructions")
+			}
+		})
+	}
+}
+
+// TestCheckedRunCleanMulti runs a checked 4-core mix with the shared-LLC
+// MPPPB-over-SRRIP configuration.
+func TestCheckedRunCleanMulti(t *testing.T) {
+	cfg := sim.MultiCoreConfig()
+	cfg.Warmup, cfg.Measure = checkWarmup, checkMeasure
+	cfg.Check = true
+	pf, err := sim.Policy("mpppb-srrip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := workload.Mixes(1, workload.DefaultMixSeed)[0]
+	res := sim.RunMulti(cfg, mix, pf)
+	if res.LLCAccesses == 0 {
+		t.Fatal("checked multi-core run made no LLC accesses")
+	}
+}
+
+// TestCheckedMatchesUnchecked verifies the observation layer never steers
+// the simulation: deterministic results of checked and unchecked runs are
+// identical for both the timed and fast drivers.
+func TestCheckedMatchesUnchecked(t *testing.T) {
+	for _, name := range []string{"lru", "mpppb"} {
+		t.Run(name, func(t *testing.T) {
+			pf, err := sim.Policy(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seg := workload.Segments()[1]
+			run := func(check bool) (sim.Result, sim.Result) {
+				cfg := sim.SingleThreadConfig()
+				cfg.Warmup, cfg.Measure = checkWarmup, checkMeasure
+				cfg.Check = check
+				timed := sim.RunSingle(cfg, workload.NewGenerator(seg, 0), pf)
+				fast := sim.RunFastMPKI(cfg, workload.NewGenerator(seg, 0), pf)
+				return timed.Deterministic(), fast.Deterministic()
+			}
+			timedOff, fastOff := run(false)
+			timedOn, fastOn := run(true)
+			if timedOn != timedOff {
+				t.Errorf("RunSingle: checked %+v != unchecked %+v", timedOn, timedOff)
+			}
+			if fastOn != fastOff {
+				t.Errorf("RunFastMPKI: checked %+v != unchecked %+v", fastOn, fastOff)
+			}
+		})
+	}
+}
+
+// TestCheckedDeterministicAcrossWorkers extends the -j determinism
+// guarantee to checked mode: runs fanned across 8 workers produce the same
+// results as the serial path with checking enabled.
+func TestCheckedDeterministicAcrossWorkers(t *testing.T) {
+	cfg := sim.SingleThreadConfig()
+	cfg.Warmup, cfg.Measure = checkWarmup, checkMeasure
+	cfg.Check = true
+	pf, err := sim.Policy("mpppb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := workload.Segments()[:3]
+
+	render := func() string {
+		out := ""
+		for _, id := range segs {
+			r := sim.RunSingle(cfg, workload.NewGenerator(id, 0), pf).Deterministic()
+			out += fmt.Sprintf("%s %d %d %d %d\n", r.Segment, r.Instructions, r.Cycles, r.LLCMisses, r.Bypasses)
+		}
+		return out
+	}
+	var serial, par string
+	withWorkers(1, func() { serial = render() })
+	withWorkers(8, func() { par = render() })
+	if serial != par {
+		t.Fatalf("checked results differ between -j1 and -j8:\n--- serial ---\n%s--- parallel ---\n%s", serial, par)
+	}
+}

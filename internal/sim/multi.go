@@ -54,6 +54,7 @@ func RunMulti(cfg Config, mix workload.Mix, pf PolicyFactory) MultiResult {
 		hs[i] = buildHierarchy(cfg, i, llc)
 		cores[i] = cpu.New(cfg.CPU)
 	}
+	checks := attachChecks(cfg, llc, hs[:]...)
 
 	// Each core reads its own generator through its own batch cursor, so
 	// the per-core record streams — and pickNext's interleaving of them —
@@ -137,6 +138,7 @@ func RunMulti(cfg Config, mix workload.Mix, pf PolicyFactory) MultiResult {
 	res.LLCMisses = llc.Stats.DemandMisses + llc.Stats.PrefetchMisses
 	res.LLCAccesses = llc.Stats.DemandAccesses + llc.Stats.PrefetchAccesses
 	res.MPKI = stats.MPKI(llc.Stats.DemandMisses+llc.Stats.PrefetchMisses, totalInstr)
+	finishChecks(checks)
 	return res
 }
 

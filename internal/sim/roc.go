@@ -117,6 +117,7 @@ func RunROC(cfg Config, gen trace.Generator, cf ConfidenceFactory) []stats.ROCSa
 	}
 	llc := NewLLC(cfg, pf)
 	h := buildHierarchy(cfg, 0, llc)
+	checks := attachChecks(cfg, llc, h)
 
 	gen.Reset()
 	rd := &batchReader{gen: gen}
@@ -139,5 +140,6 @@ func RunROC(cfg Config, gen trace.Generator, cf ConfidenceFactory) []stats.ROCSa
 		now += n
 		instr += n
 	}
+	finishChecks(checks)
 	return probe.samples
 }

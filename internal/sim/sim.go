@@ -15,6 +15,7 @@ import (
 	"mpppb/internal/prefetch"
 	"mpppb/internal/stats"
 	"mpppb/internal/trace"
+	"mpppb/internal/verify"
 )
 
 // Config describes one simulated machine, following Section 4.1 of the
@@ -34,6 +35,13 @@ type Config struct {
 	Warmup uint64
 	// Measure is the number of instructions measured after warmup.
 	Measure uint64
+	// Check attaches the lockstep verification layer (internal/verify) to
+	// every cache in the hierarchy: a naive reference cache model plus a
+	// reference implementation of the replacement policy, compared after
+	// every access. A divergence panics with the access index and a dump
+	// of the affected set. Roughly an order of magnitude slower; exposed
+	// as -check on the cmd tools.
+	Check bool
 }
 
 // Scaled-down defaults: the paper warms with 500M and measures 1B
@@ -181,11 +189,34 @@ func NewLLC(cfg Config, pf PolicyFactory) *cache.Cache {
 	return cache.New("llc", sets, cfg.LLCWays, pf(sets, cfg.LLCWays))
 }
 
+// attachChecks interposes the verification layer on a run's caches when
+// cfg.Check is set. It must run before the first access. The returned
+// checkers need finishChecks at the end of the run so periodically-swept
+// state (weight tables, sampler contents) gets a final comparison.
+func attachChecks(cfg Config, llc *cache.Cache, hs ...*cache.Hierarchy) []*verify.Checker {
+	if !cfg.Check {
+		return nil
+	}
+	ks := []*verify.Checker{verify.Attach(llc)}
+	for _, h := range hs {
+		ks = append(ks, verify.Attach(h.L1), verify.Attach(h.L2))
+	}
+	return ks
+}
+
+// finishChecks runs each checker's final full-state sweep.
+func finishChecks(ks []*verify.Checker) {
+	for _, k := range ks {
+		k.Finish()
+	}
+}
+
 // RunSingle simulates one trace segment on the single-thread machine with
 // the given LLC policy and returns measured statistics.
 func RunSingle(cfg Config, gen trace.Generator, pf PolicyFactory) Result {
 	llc := NewLLC(cfg, pf)
 	h := buildHierarchy(cfg, 0, llc)
+	checks := attachChecks(cfg, llc, h)
 	core := cpu.New(cfg.CPU)
 
 	gen.Reset()
@@ -222,6 +253,7 @@ func RunSingle(cfg Config, gen trace.Generator, pf PolicyFactory) Result {
 		Bypasses:     llc.Stats.Bypasses,
 	}
 	measure(&res)
+	finishChecks(checks)
 	return res
 }
 
@@ -239,6 +271,7 @@ func RunSingle(cfg Config, gen trace.Generator, pf PolicyFactory) Result {
 func RunFastMPKI(cfg Config, gen trace.Generator, pf PolicyFactory) Result {
 	llc := NewLLC(cfg, pf)
 	h := buildHierarchy(cfg, 0, llc)
+	checks := attachChecks(cfg, llc, h)
 
 	gen.Reset()
 	rd := &batchReader{gen: gen}
@@ -270,6 +303,7 @@ func RunFastMPKI(cfg Config, gen trace.Generator, pf PolicyFactory) Result {
 		Bypasses:     llc.Stats.Bypasses,
 	}
 	measure(&res)
+	finishChecks(checks)
 	return res
 }
 

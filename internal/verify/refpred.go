@@ -1,0 +1,463 @@
+package verify
+
+import (
+	"fmt"
+
+	"mpppb/internal/cache"
+	"mpppb/internal/core"
+	"mpppb/internal/policy"
+	"mpppb/internal/trace"
+)
+
+// mpppbOracle runs a from-scratch reimplementation of the full MPPPB stack
+// in lockstep with the production policy: the predictor via the reference
+// Feature.Index path over explicit history arrays and per-feature weight
+// slices, the sampler as an MRU-first ordered list per sampled set, and the
+// default policy (MDPP tree or SRRIP RRPVs) as a naive model driven by the
+// reference's own placement decisions.
+//
+// Every prediction is compared against the production confidence before the
+// production hook trains; victim choices, bypass decisions, and per-set
+// recency state are compared after each hook; the periodic sweep compares
+// the complete weight tables and sampler contents and runs the policy's
+// structural invariant checks.
+type mpppbOracle struct {
+	baseOracle
+	k *Checker
+	m *core.MPPPB
+
+	params core.Params
+	feats  []core.Feature
+
+	// Reference predictor state.
+	weights   [][]int8
+	hist      [][]uint64 // per core, MRU-first recent PCs, length MaxW
+	lastMiss  []bool
+	lastBlock []uint64
+	haveBlock []bool
+	idx       []uint16 // index vector of the latest reference prediction
+
+	// Reference sampler: per sampled set, MRU-first entries (position ==
+	// slice index).
+	sampSets int
+	spacing  int
+	samp     [][]refSampEntry
+
+	// Reference default-policy state (exactly one is non-nil).
+	tree *refTree
+	rrpv [][]uint8
+	ways int
+
+	// Victim→Fill memo mirroring the production policy.
+	pendValid bool
+	pendSet   int
+	pendBlock uint64
+	pendPC    uint64
+	pendConf  int
+
+	// Victim expectation recorded by preVictim.
+	expBypass bool
+	expVictim int
+	skipHit   bool
+}
+
+type refSampEntry struct {
+	tag  uint16
+	conf int
+	idx  []uint16
+}
+
+func newMPPPBOracle(k *Checker, m *core.MPPPB, sets, ways int) *mpppbOracle {
+	params := m.Params()
+	cores := params.Cores
+	if cores < 1 {
+		cores = 1
+	}
+	sampSets := params.SamplerSets
+	if sampSets > sets {
+		sampSets = sets
+	}
+	o := &mpppbOracle{
+		k:         k,
+		m:         m,
+		params:    params,
+		feats:     params.Features,
+		weights:   make([][]int8, len(params.Features)),
+		hist:      make([][]uint64, cores),
+		lastMiss:  make([]bool, sets),
+		lastBlock: make([]uint64, sets),
+		haveBlock: make([]bool, sets),
+		idx:       make([]uint16, len(params.Features)),
+		sampSets:  sampSets,
+		spacing:   sets / sampSets,
+		samp:      make([][]refSampEntry, sampSets),
+		ways:      ways,
+	}
+	for i, f := range o.feats {
+		o.weights[i] = make([]int8, f.TableSize())
+	}
+	for c := range o.hist {
+		o.hist[c] = make([]uint64, core.MaxW)
+	}
+	if params.Default == core.DefaultMDPP {
+		o.tree = newRefTree(sets, ways)
+	} else {
+		o.rrpv = make([][]uint8, sets)
+		for s := range o.rrpv {
+			o.rrpv[s] = make([]uint8, ways)
+			for w := range o.rrpv[s] {
+				o.rrpv[s][w] = policy.RRPVMax
+			}
+		}
+	}
+	return o
+}
+
+// refTag mirrors the sampler's partial-tag hash, which is part of the
+// policy's specification (the same 16 tag bits must collide the same way).
+func refTag(block uint64) uint16 {
+	return uint16((block * 0x9e3779b97f4a7c15) >> 48)
+}
+
+func (o *mpppbOracle) coreOf(a cache.Access) int {
+	c := a.Core
+	if c < 0 || c >= len(o.hist) {
+		c = 0
+	}
+	return c
+}
+
+// predict computes the reference confidence for an access, leaving the
+// per-feature index vector in o.idx.
+func (o *mpppbOracle) predict(a cache.Access, set int, insert bool) int {
+	var in core.Input
+	in.PC = a.PC
+	in.Addr = a.Addr
+	in.Insert = insert
+	in.LastMiss = o.lastMiss[set]
+	in.Burst = !insert && o.haveBlock[set] && o.lastBlock[set] == a.Block()
+	in.History[0] = a.PC
+	copy(in.History[1:], o.hist[o.coreOf(a)])
+	sum := 0
+	for i, f := range o.feats {
+		ix := f.Index(&in)
+		o.idx[i] = uint16(ix)
+		sum += int(o.weights[i][ix])
+	}
+	if sum < core.ConfMin {
+		sum = core.ConfMin
+	}
+	if sum > core.ConfMax {
+		sum = core.ConfMax
+	}
+	return sum
+}
+
+// observe mirrors the predictor's post-access state update.
+func (o *mpppbOracle) observe(a cache.Access, set int, miss, resident bool) {
+	o.lastMiss[set] = miss
+	if resident {
+		o.lastBlock[set] = a.Block()
+		o.haveBlock[set] = true
+	}
+	h := o.hist[o.coreOf(a)]
+	copy(h[1:], h[:len(h)-1])
+	h[0] = a.PC
+}
+
+// bump adjusts one reference weight with saturating arithmetic.
+func (o *mpppbOracle) bump(feature int, ix uint16, up bool) {
+	w := &o.weights[feature][ix]
+	if up {
+		if *w < core.WeightMax {
+			*w++
+		}
+	} else if *w > core.WeightMin {
+		*w--
+	}
+}
+
+// train performs the reference sampler access for a set, if sampled, using
+// the index vector left in o.idx by the latest reference prediction.
+func (o *mpppbOracle) train(a cache.Access, set, conf int) {
+	if set%o.spacing != 0 {
+		return
+	}
+	ss := set / o.spacing
+	if ss >= o.sampSets {
+		return
+	}
+	o.samplerAccess(ss, a.Block(), conf)
+}
+
+// samplerAccess replays one sampler access on the MRU-first list: reuse
+// trains live for features reaching the hit position, demotions landing on
+// a feature's A parameter train dead, and the list order is the LRU stack.
+func (o *mpppbOracle) samplerAccess(ss int, block uint64, conf int) {
+	tag := refTag(block)
+	list := o.samp[ss]
+	hit := -1
+	for j := range list {
+		if list[j].tag == tag {
+			hit = j
+			break
+		}
+	}
+
+	if hit >= 0 {
+		e := list[hit]
+		if e.conf > -o.params.Theta {
+			for i, f := range o.feats {
+				if hit < f.A {
+					o.bump(i, e.idx[i], false)
+				}
+			}
+		}
+		// Entries above the hit demote by one position; a demotion landing
+		// exactly on a feature's A parameter is an eviction from that
+		// feature's virtual cache.
+		for pos := 0; pos < hit; pos++ {
+			o.trainDemoted(list[pos], pos+1)
+		}
+		copy(list[1:hit+1], list[:hit])
+		e.conf = conf
+		e.idx = append([]uint16(nil), o.idx...)
+		list[0] = e
+		return
+	}
+
+	// Miss: every resident entry demotes by one; the entry leaving the last
+	// position is evicted after its demotion trains.
+	for pos := range list {
+		o.trainDemoted(list[pos], pos+1)
+	}
+	if len(list) == core.SamplerWays {
+		list = list[:len(list)-1]
+	}
+	list = append(list, refSampEntry{})
+	copy(list[1:], list[:len(list)-1])
+	list[0] = refSampEntry{tag: tag, conf: conf, idx: append([]uint16(nil), o.idx...)}
+	o.samp[ss] = list
+}
+
+// trainDemoted trains dead for features whose A parameter equals the
+// demoted entry's new position, unless the entry is already confidently
+// dead.
+func (o *mpppbOracle) trainDemoted(e refSampEntry, newPos int) {
+	if e.conf >= o.params.Theta {
+		return
+	}
+	for i, f := range o.feats {
+		if f.A == newPos {
+			o.bump(i, e.idx[i], true)
+		}
+	}
+}
+
+// placement maps a confidence to a recency position (Section 3.6).
+func (o *mpppbOracle) placement(conf int) int {
+	switch {
+	case conf > o.params.Tau1:
+		return o.params.Pi[0]
+	case conf > o.params.Tau2:
+		return o.params.Pi[1]
+	case conf > o.params.Tau3:
+		return o.params.Pi[2]
+	default:
+		return 0
+	}
+}
+
+// place applies a placement/promotion position to the reference default-
+// policy model.
+func (o *mpppbOracle) place(set, way, pos int) {
+	if o.tree != nil {
+		o.tree.touch(set, way, pos)
+	} else {
+		o.rrpv[set][way] = uint8(pos)
+	}
+}
+
+// defaultVictim returns the reference default policy's victim, mirroring
+// any aging side effects the production search performs.
+func (o *mpppbOracle) defaultVictim(set int) int {
+	if o.tree != nil {
+		return o.tree.victim(set)
+	}
+	for {
+		for w := 0; w < o.ways; w++ {
+			if o.rrpv[set][w] == policy.RRPVMax {
+				return w
+			}
+		}
+		for w := 0; w < o.ways; w++ {
+			o.rrpv[set][w]++
+		}
+	}
+}
+
+// compareConf checks the reference confidence against the production
+// predictor's. The production call is side-effect-free and the production
+// hook recomputes the identical scratch state afterwards, so probing here
+// does not disturb the run.
+func (o *mpppbOracle) compareConf(a cache.Access, set int, insert bool, refConf int) {
+	if prod := o.m.Predict(a, set, insert); prod != refConf {
+		o.k.failf("", "mpppb: set %d %v access %#x (pc %#x, insert=%v): production confidence %d, reference %d",
+			set, a.Type, a.Addr, a.PC, insert, prod, refConf)
+	}
+}
+
+// compareSet checks the production default-policy state of one set.
+func (o *mpppbOracle) compareSet(set int) {
+	if o.tree != nil {
+		if got, want := o.m.MDPP().Tree().Bits(set), o.tree.packed(set); got != want {
+			o.k.failf(o.tree.dump(set), "mpppb: set %d mdpp bits %#x, reference %#x", set, got, want)
+		}
+		return
+	}
+	s := o.m.SRRIP()
+	for w := 0; w < o.ways; w++ {
+		if got := s.RRPV(set, w); got != o.rrpv[set][w] {
+			o.k.failf(fmt.Sprintf("  reference rrpv: %v", o.rrpv[set]),
+				"mpppb: set %d way %d rrpv %d, reference %d", set, w, got, o.rrpv[set][w])
+			return
+		}
+	}
+}
+
+func (o *mpppbOracle) preHit(set, way int, a cache.Access) {
+	if a.Type == trace.Writeback {
+		o.skipHit = true
+		return
+	}
+	o.skipHit = false
+	conf := o.predict(a, set, false)
+	o.compareConf(a, set, false, conf)
+	o.train(a, set, conf)
+	if conf <= o.params.Tau4 {
+		o.place(set, way, o.params.PromotePos)
+	}
+	o.observe(a, set, false, true)
+}
+
+func (o *mpppbOracle) postHit(set, _ int, _ cache.Access) {
+	if o.skipHit {
+		return
+	}
+	o.compareSet(set)
+}
+
+func (o *mpppbOracle) preVictim(set int, a cache.Access) {
+	conf := o.predict(a, set, true)
+	o.compareConf(a, set, true, conf)
+	if o.params.BypassEnabled && conf > o.params.Tau0 {
+		o.expBypass = true
+		o.train(a, set, conf)
+		o.observe(a, set, true, false)
+		o.pendValid = false
+		return
+	}
+	o.expBypass = false
+	o.pendValid = true
+	o.pendSet = set
+	o.pendBlock = a.Block()
+	o.pendPC = a.PC
+	o.pendConf = conf
+	o.expVictim = o.defaultVictim(set)
+}
+
+func (o *mpppbOracle) postVictim(set int, a cache.Access, way int, bypass bool) {
+	if bypass != o.expBypass {
+		o.k.failf("", "mpppb: set %d access %#x: production bypass=%v, reference bypass=%v",
+			set, a.Addr, bypass, o.expBypass)
+		return
+	}
+	if !bypass && way != o.expVictim {
+		o.k.failf(o.dumpDefault(set), "mpppb: set %d victim way %d, reference way %d",
+			set, way, o.expVictim)
+	}
+}
+
+func (o *mpppbOracle) preFill(set, way int, a cache.Access) {
+	var conf int
+	if o.pendValid && o.pendSet == set && o.pendBlock == a.Block() && o.pendPC == a.PC {
+		// Same access the reference just predicted in preVictim; the index
+		// vector in o.idx is still that prediction's.
+		conf = o.pendConf
+	} else {
+		conf = o.predict(a, set, true)
+	}
+	o.compareConf(a, set, true, conf)
+	o.pendValid = false
+	o.train(a, set, conf)
+	o.place(set, way, o.placement(conf))
+	o.observe(a, set, true, true)
+}
+
+func (o *mpppbOracle) postFill(set, _ int, _ cache.Access) {
+	o.compareSet(set)
+}
+
+func (o *mpppbOracle) dumpDefault(set int) string {
+	if o.tree != nil {
+		return o.tree.dump(set)
+	}
+	return fmt.Sprintf("  reference rrpv: %v", o.rrpv[set])
+}
+
+// sweep compares complete state: every weight, every sampler entry, every
+// set's default-policy state, plus the production policy's own structural
+// invariants.
+func (o *mpppbOracle) sweep() {
+	// Weight tables.
+	reported := false
+	o.m.Predictor().ForEachWeight(func(feature, index int, w int8) {
+		if reported {
+			return
+		}
+		if ref := o.weights[feature][index]; ref != w {
+			reported = true
+			o.k.failf("", "mpppb: weight table %d (%v) index %d: production %d, reference %d",
+				feature, o.feats[feature], index, w, ref)
+		}
+	})
+
+	// Sampler contents: production entries keyed by (set, position) must
+	// match the reference list exactly, in both directions.
+	prodCount := 0
+	mismatch := false
+	o.m.ForEachSamplerEntry(func(set, pos int, tag uint16, conf int) {
+		prodCount++
+		if mismatch {
+			return
+		}
+		if set >= len(o.samp) || pos >= len(o.samp[set]) {
+			mismatch = true
+			o.k.failf("", "mpppb: production sampler entry (set %d, pos %d) absent from reference", set, pos)
+			return
+		}
+		e := o.samp[set][pos]
+		if e.tag != tag || e.conf != conf {
+			mismatch = true
+			o.k.failf("", "mpppb: sampler set %d pos %d: production tag %#x conf %d, reference tag %#x conf %d",
+				set, pos, tag, conf, e.tag, e.conf)
+		}
+	})
+	refCount := 0
+	for _, list := range o.samp {
+		refCount += len(list)
+	}
+	if !mismatch && prodCount != refCount {
+		o.k.failf("", "mpppb: production sampler holds %d entries, reference %d", prodCount, refCount)
+	}
+
+	// Default-policy recency state of every set.
+	for set := range o.lastMiss {
+		o.compareSet(set)
+	}
+
+	// Structural invariants of the production policy itself.
+	if err := o.m.CheckInvariants(); err != nil {
+		o.k.failf("", "mpppb: invariant violation: %v", err)
+	}
+}

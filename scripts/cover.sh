@@ -1,0 +1,23 @@
+#!/bin/sh
+# Coverage gate: run the full test suite with statement coverage over
+# internal/, print the per-package and total percentages, and fail when
+# the total drops below the seed baseline. Raise the baseline as coverage
+# grows; never lower it to admit a regression.
+set -eu
+
+BASELINE=${COVER_BASELINE:-88.0}
+profile=${1:-coverage.out}
+
+go test -coverprofile="$profile" -coverpkg=./internal/... ./...
+
+echo
+echo "== per-function totals over internal/"
+go tool cover -func="$profile" | grep -v '100.0%$' | tail -n 40
+
+total=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+echo
+echo "total coverage: ${total}% (baseline ${BASELINE}%)"
+awk -v t="$total" -v b="$BASELINE" 'BEGIN { exit !(t+0 >= b+0) }' || {
+    echo "FAIL: total coverage ${total}% fell below the ${BASELINE}% baseline" >&2
+    exit 1
+}
