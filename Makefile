@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-hotpath bench-record experiments results resume-smoke cover fuzz clean
+.PHONY: all build test vet race bench bench-hotpath bench-record experiments results resume-smoke watch-smoke cover fuzz clean
 
 all: build test
 
@@ -17,9 +17,10 @@ test: vet
 	$(GO) test -tags verify ./internal/cache ./internal/verify
 
 # Race-detector pass over the concurrent packages: the worker pool, the
-# single-flight caches, and the experiment drivers that fan across them.
+# single-flight caches, the experiment drivers that fan across them, and
+# the observability layer their workers all update.
 race:
-	$(GO) test -race ./internal/parallel ./internal/sim ./internal/experiments
+	$(GO) test -race ./internal/parallel ./internal/sim ./internal/experiments ./internal/obs
 
 # Scaled-down reproduction of every figure/table as Go benchmarks.
 bench:
@@ -45,6 +46,12 @@ results:
 # resume it, and require byte-identical TSVs (see scripts/resume_smoke.sh).
 resume-smoke:
 	scripts/resume_smoke.sh
+
+# End-to-end live observability: run a campaign with -listen, poll
+# /metrics and /status mid-run, and require well-formed endpoint output
+# plus a byte-identical TSV (see scripts/watch_smoke.sh).
+watch-smoke:
+	scripts/watch_smoke.sh
 
 # Coverage gate: per-package report plus a total-% floor
 # (see scripts/cover.sh; override with COVER_BASELINE=<pct>).

@@ -23,6 +23,12 @@
 // TSVs. -task-timeout and -retries bound and retry individual cells; a
 // cell that fails permanently renders as NaN in its table and the tool
 // exits 3 after listing the failures.
+//
+// A running campaign is observable: -listen HOST:PORT serves /metrics
+// (Prometheus text), /status (JSON run manifest with per-cell states and
+// an ETA) and /debug/pprof for the lifetime of the run, and -progress 10s
+// prints a stderr ticker at that interval. Neither changes the TSV
+// output.
 package main
 
 import (
@@ -40,6 +46,7 @@ import (
 	"mpppb/internal/core"
 	"mpppb/internal/experiments"
 	"mpppb/internal/journal"
+	"mpppb/internal/obs"
 	"mpppb/internal/parallel"
 	"mpppb/internal/plot"
 	"mpppb/internal/prof"
@@ -127,6 +134,7 @@ func main() {
 		check   = flag.Bool("check", false, "run the lockstep verification layer on every cache (slow; a divergence aborts with the access index and set dump)")
 	)
 	jf := journal.RegisterFlags(flag.CommandLine)
+	of := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	defer prof.Start()()
 	parallel.SetDefault(*j)
@@ -192,6 +200,15 @@ func main() {
 	}
 	defer jrnl.Close()
 
+	status := obs.NewRunStatus("mpppb-experiments")
+	status.SetMeta(fp.Config, jf.Path)
+	obsStop, err := of.Start(status)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpppb-experiments: %v\n", err)
+		os.Exit(1)
+	}
+	defer obsStop()
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
@@ -203,6 +220,7 @@ func main() {
 		// Keep going past a permanently failed cell: the tables render its
 		// slots as NaN and the tool exits 3 after reporting the failures.
 		KeepGoing: true,
+		Status:    status,
 	}
 	if !*quiet {
 		r.opts.Progress = func(format string, args ...any) {

@@ -12,10 +12,15 @@ package main
 
 import (
 	"flag"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"mpppb/internal/experiments"
+	"mpppb/internal/obs"
 	"mpppb/internal/sim"
 )
 
@@ -62,5 +67,71 @@ func TestGoldenTSV(t *testing.T) {
 		if string(got) != string(want) {
 			t.Errorf("%s output differs from %s\n--- got ---\n%s\n--- want ---\n%s", id, golden, got, want)
 		}
+	}
+}
+
+// TestOutputIdenticalWithObservability pins the tentpole invariant of the
+// observability layer: with the -listen server live, a run status wired
+// through the drivers, and the lockstep -check verifier on, the TSV bytes
+// are identical at -j 1 and -j 8 — and identical to a run with
+// observability absent entirely.
+func TestOutputIdenticalWithObservability(t *testing.T) {
+	fetch := func(addr, path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	render := func(workers int, observed bool) string {
+		dir := t.TempDir()
+		r := goldenRunner(dir)
+		r.stCfg.Warmup, r.stCfg.Measure = 100_000, 300_000
+		r.stCfg.Check = true
+		r.opts = &experiments.Run{Workers: workers, KeepGoing: true}
+		if observed {
+			status := obs.NewRunStatus("mpppb-experiments-test")
+			srv, err := obs.Serve("127.0.0.1:0", obs.Default(), status)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			r.opts.Status = status
+			defer func() {
+				// The endpoints must have served real run data while the TSV
+				// below stayed untouched by them.
+				if body := fetch(srv.Addr(), "/metrics"); !strings.Contains(body, "mpppb_experiments_cells_computed_total") {
+					t.Errorf("/metrics missing cell counters:\n%s", body)
+				}
+				// fig6's grid is one cell per segment (3 for the golden
+				// benchmark), all done by the time the run returns.
+				if body := fetch(srv.Addr(), "/status"); !strings.Contains(body, `"tool": "mpppb-experiments-test"`) ||
+					!strings.Contains(body, `"done_cells": 3`) {
+					t.Errorf("/status missing run manifest:\n%s", body)
+				}
+			}()
+		}
+		if err := r.run("fig6"); err != nil {
+			t.Fatalf("run(fig6, j=%d): %v", workers, err)
+		}
+		b, err := os.ReadFile(filepath.Join(dir, "fig6.tsv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	plain := render(1, false)
+	j1 := render(1, true)
+	j8 := render(8, true)
+	if j1 != plain {
+		t.Errorf("-j1 output with observability differs from plain run:\n--- observed ---\n%s\n--- plain ---\n%s", j1, plain)
+	}
+	if j8 != j1 {
+		t.Errorf("-j8 output differs from -j1 with observability on:\n--- j8 ---\n%s\n--- j1 ---\n%s", j8, j1)
 	}
 }

@@ -19,9 +19,11 @@ import (
 	"os/signal"
 	"runtime"
 	"strings"
+	"time"
 
 	"mpppb"
 	"mpppb/internal/journal"
+	"mpppb/internal/obs"
 	"mpppb/internal/parallel"
 	"mpppb/internal/prof"
 	"mpppb/internal/sim"
@@ -41,6 +43,7 @@ func main() {
 		j          = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for independent runs (1 = serial)")
 	)
 	jf := journal.RegisterFlags(flag.CommandLine)
+	of := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	defer prof.Start()()
 	parallel.SetDefault(*j)
@@ -71,19 +74,29 @@ func main() {
 		Warmup  uint64 `json:"warmup"`
 		Measure uint64 `json:"measure"`
 	}
-	jrnl, err := jf.Open(journal.Fingerprint{
+	fp := journal.Fingerprint{
 		Config: journal.ConfigHash(fingerprintConfig{
 			Tool:    "mpppb-roc",
 			Warmup:  *warmup,
 			Measure: *measure,
 		}),
 		Version: journal.BuildVersion(),
-	})
+	}
+	jrnl, err := jf.Open(fp)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mpppb-roc: %v\n", err)
 		os.Exit(1)
 	}
 	defer jrnl.Close()
+
+	status := obs.NewRunStatus("mpppb-roc")
+	status.SetMeta(fp.Config, jf.Path)
+	obsStop, err := of.Start(status)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpppb-roc: %v\n", err)
+		os.Exit(1)
+	}
+	defer obsStop()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -93,20 +106,27 @@ func main() {
 		pred = strings.TrimSpace(pred)
 		// Segments fan across the pool; samples pool in segment order, so
 		// the curve matches a serial run exactly.
+		for _, id := range ids {
+			status.AddCells("roc/" + pred + "/" + id.String())
+		}
 		opts := parallel.RunOpts{Retries: jf.Retries, Timeout: jf.Timeout, KeepGoing: true}
 		perSeg, segErrs, err := parallel.MapErr(ctx, opts, len(ids), func(ctx context.Context, i int) (stats.PackedROC, error) {
 			key := "roc/" + pred + "/" + ids[i].String()
+			status.CellRunning(key)
 			var packed stats.PackedROC
 			if hit, err := jrnl.Load(key, &packed); err != nil {
 				return stats.PackedROC{}, err
 			} else if hit {
+				status.CellDone(key, obs.CellJournal, 0)
 				return packed, nil
 			}
+			t0 := time.Now()
 			samples, err := mpppb.ROCSamples(cfg, ids[i], pred)
 			if err != nil {
 				return stats.PackedROC{}, err
 			}
 			packed = stats.PackROC(samples)
+			status.CellDone(key, obs.CellOK, time.Since(t0))
 			return packed, jrnl.Record(key, packed)
 		})
 		if err != nil {
@@ -125,6 +145,7 @@ func main() {
 			if segErrs[i] != nil {
 				fmt.Fprintf(os.Stderr, "FAILED roc/%s/%s: %v\n", pred, ids[i], segErrs[i])
 				jrnl.RecordFailure("roc/"+pred+"/"+ids[i].String(), segErrs[i])
+				status.CellDone("roc/"+pred+"/"+ids[i].String(), obs.CellFailed, 0)
 				exit = 3
 				continue
 			}

@@ -24,6 +24,7 @@ import (
 
 	"mpppb/internal/experiments"
 	"mpppb/internal/journal"
+	"mpppb/internal/obs"
 	"mpppb/internal/parallel"
 	"mpppb/internal/prof"
 	"mpppb/internal/sim"
@@ -42,6 +43,7 @@ func main() {
 		j        = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines; each feature-set evaluation fans its training segments across them (1 = serial)")
 	)
 	jf := journal.RegisterFlags(flag.CommandLine)
+	of := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	defer prof.Start()()
 	parallel.SetDefault(*j)
@@ -58,7 +60,7 @@ func main() {
 		Warmup   uint64 `json:"warmup"`
 		Measure  uint64 `json:"measure"`
 	}
-	jrnl, err := jf.Open(journal.Fingerprint{
+	fp := journal.Fingerprint{
 		Config: journal.ConfigHash(fingerprintConfig{
 			Tool:     "mpppb-search",
 			Random:   *nRandom,
@@ -69,17 +71,27 @@ func main() {
 		}),
 		Version: journal.BuildVersion(),
 		Seed:    int64(*seed),
-	})
+	}
+	jrnl, err := jf.Open(fp)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mpppb-search: %v\n", err)
 		os.Exit(1)
 	}
 	defer jrnl.Close()
 
+	status := obs.NewRunStatus("mpppb-search")
+	status.SetMeta(fp.Config, jf.Path)
+	obsStop, err := of.Start(status)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpppb-search: %v\n", err)
+		os.Exit(1)
+	}
+	defer obsStop()
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	opts := &experiments.Run{Ctx: ctx, Journal: jrnl, Retries: jf.Retries, TaskTimeout: jf.Timeout}
+	opts := &experiments.Run{Ctx: ctx, Journal: jrnl, Retries: jf.Retries, TaskTimeout: jf.Timeout, Status: status}
 	if !*quiet {
 		opts.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

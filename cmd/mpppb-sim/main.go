@@ -10,7 +10,8 @@
 // Large sweeps (-bench all with many policies) can checkpoint with
 // -journal FILE; -resume skips the (segment, policy) runs already on
 // disk. Failed runs print NA cells and exit non-zero instead of aborting
-// the whole grid.
+// the whole grid. -listen HOST:PORT serves live /metrics, /status and
+// /debug/pprof for the run; -progress 10s prints a stderr ticker.
 package main
 
 import (
@@ -23,9 +24,11 @@ import (
 	"runtime"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"mpppb"
 	"mpppb/internal/journal"
+	"mpppb/internal/obs"
 	"mpppb/internal/parallel"
 	"mpppb/internal/prof"
 	"mpppb/internal/sim"
@@ -45,6 +48,7 @@ func main() {
 		j        = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for independent runs (1 = serial)")
 	)
 	jf := journal.RegisterFlags(flag.CommandLine)
+	of := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	defer prof.Start()()
 	parallel.SetDefault(*j)
@@ -89,7 +93,7 @@ func main() {
 		Measure uint64 `json:"measure"`
 		Verbose bool   `json:"verbose"`
 	}
-	jrnl, err := jf.Open(journal.Fingerprint{
+	fp := journal.Fingerprint{
 		Config: journal.ConfigHash(fingerprintConfig{
 			Tool:    "mpppb-sim",
 			Warmup:  *warmup,
@@ -97,12 +101,22 @@ func main() {
 			Verbose: *verbose,
 		}),
 		Version: journal.BuildVersion(),
-	})
+	}
+	jrnl, err := jf.Open(fp)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mpppb-sim: %v\n", err)
 		os.Exit(1)
 	}
 	defer jrnl.Close()
+
+	status := obs.NewRunStatus("mpppb-sim")
+	status.SetMeta(fp.Config, jf.Path)
+	obsStop, err := of.Start(status)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpppb-sim: %v\n", err)
+		os.Exit(1)
+	}
+	defer obsStop()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -126,16 +140,22 @@ func main() {
 		Res  mpppb.Result `json:"res"`
 		Info string       `json:"info,omitempty"`
 	}
+	for _, jb := range jobs {
+		status.AddCells("sim/" + jb.id.String() + "/" + jb.pname)
+	}
 	opts := parallel.RunOpts{Retries: jf.Retries, Timeout: jf.Timeout, KeepGoing: true}
 	rows, rowErrs, err := parallel.MapErr(ctx, opts, len(jobs), func(ctx context.Context, i int) (rowInfo, error) {
 		jb := jobs[i]
 		key := "sim/" + jb.id.String() + "/" + jb.pname
+		status.CellRunning(key)
 		var row rowInfo
 		if hit, err := jrnl.Load(key, &row); err != nil {
 			return rowInfo{}, err
 		} else if hit {
+			status.CellDone(key, obs.CellJournal, 0)
 			return row, nil
 		}
+		t0 := time.Now()
 		if *verbose && strings.HasPrefix(jb.pname, "mpppb") {
 			res, info, err := mpppb.RunVerbose(cfg, jb.id, jb.pname)
 			if err != nil {
@@ -149,6 +169,7 @@ func main() {
 			}
 			row = rowInfo{Res: res}
 		}
+		status.CellDone(key, obs.CellOK, time.Since(t0))
 		return row, jrnl.Record(key, row)
 	})
 	if err != nil {
@@ -187,6 +208,7 @@ func main() {
 			if rowErrs[i] != nil {
 				fmt.Fprintf(os.Stderr, "FAILED %s/%s: %v\n", jb.id, jb.pname, rowErrs[i])
 				jrnl.RecordFailure("sim/"+jb.id.String()+"/"+jb.pname, rowErrs[i])
+				status.CellDone("sim/"+jb.id.String()+"/"+jb.pname, obs.CellFailed, 0)
 			}
 		}
 		fmt.Fprintf(os.Stderr, "mpppb-sim: %d of %d runs failed (NA cells above)\n", failed, len(jobs))

@@ -19,9 +19,11 @@ import (
 	"os/signal"
 	"runtime"
 	"strings"
+	"time"
 
 	"mpppb"
 	"mpppb/internal/journal"
+	"mpppb/internal/obs"
 	"mpppb/internal/parallel"
 	"mpppb/internal/prof"
 	"mpppb/internal/sim"
@@ -40,6 +42,7 @@ func main() {
 		j        = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for independent runs (1 = serial)")
 	)
 	jf := journal.RegisterFlags(flag.CommandLine)
+	of := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	defer prof.Start()()
 	parallel.SetDefault(*j)
@@ -82,19 +85,29 @@ func main() {
 		Warmup  uint64 `json:"warmup"`
 		Measure uint64 `json:"measure"`
 	}
-	jrnl, err := jf.Open(journal.Fingerprint{
+	fp := journal.Fingerprint{
 		Config: journal.ConfigHash(fingerprintConfig{
 			Tool:    "mpppb-sweep",
 			Warmup:  *warmup,
 			Measure: *measure,
 		}),
 		Version: journal.BuildVersion(),
-	})
+	}
+	jrnl, err := jf.Open(fp)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mpppb-sweep: %v\n", err)
 		os.Exit(1)
 	}
 	defer jrnl.Close()
+
+	status := obs.NewRunStatus("mpppb-sweep")
+	status.SetMeta(fp.Config, jf.Path)
+	obsStop, err := of.Start(status)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpppb-sweep: %v\n", err)
+		os.Exit(1)
+	}
+	defer obsStop()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -117,20 +130,27 @@ func main() {
 	key := func(c cell) string {
 		return "sweep/" + id.String() + "/" + *dim + "/" + points[c.pt].label + "/" + strings.TrimSpace(pols[c.pol])
 	}
+	for _, c := range cells {
+		status.AddCells(key(c))
+	}
 	opts := parallel.RunOpts{Retries: jf.Retries, Timeout: jf.Timeout, KeepGoing: true}
 	results, cellErrs, err := parallel.MapErr(ctx, opts, len(cells), func(ctx context.Context, i int) (mpppb.Result, error) {
 		c := cells[i]
 		k := key(c)
+		status.CellRunning(k)
 		var res mpppb.Result
 		if hit, err := jrnl.Load(k, &res); err != nil {
 			return mpppb.Result{}, err
 		} else if hit {
+			status.CellDone(k, obs.CellJournal, 0)
 			return res, nil
 		}
+		t0 := time.Now()
 		res, err := mpppb.Run(points[c.pt].cfg, id, strings.TrimSpace(pols[c.pol]))
 		if err != nil {
 			return mpppb.Result{}, err
 		}
+		status.CellDone(k, obs.CellOK, time.Since(t0))
 		return res, jrnl.Record(k, res)
 	})
 	if err != nil {
@@ -164,6 +184,7 @@ func main() {
 			if cellErrs[i] != nil {
 				fmt.Fprintf(os.Stderr, "FAILED %s: %v\n", key(c), cellErrs[i])
 				jrnl.RecordFailure(key(c), cellErrs[i])
+				status.CellDone(key(c), obs.CellFailed, 0)
 			}
 		}
 		fmt.Fprintf(os.Stderr, "mpppb-sweep: %d of %d cells failed (NA above)\n", failed, len(cells))

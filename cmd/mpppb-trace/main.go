@@ -26,8 +26,10 @@ import (
 	"os/signal"
 	"runtime"
 	"strings"
+	"time"
 
 	"mpppb/internal/journal"
+	"mpppb/internal/obs"
 	"mpppb/internal/parallel"
 	"mpppb/internal/prof"
 	"mpppb/internal/sim"
@@ -51,9 +53,17 @@ func main() {
 		j        = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for independent runs (1 = serial)")
 	)
 	jf := journal.RegisterFlags(flag.CommandLine)
+	of := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	defer prof.Start()()
 	parallel.SetDefault(*j)
+
+	status := obs.NewRunStatus("mpppb-trace")
+	obsStop, err := of.Start(status)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer obsStop()
 
 	switch {
 	case *imp != "":
@@ -159,7 +169,7 @@ func main() {
 			Warmup  uint64 `json:"warmup"`
 			Measure uint64 `json:"measure"`
 		}
-		jrnl, err := jf.Open(journal.Fingerprint{
+		fp := journal.Fingerprint{
 			Config: journal.ConfigHash(fingerprintConfig{
 				Tool:    "mpppb-trace",
 				Trace:   hash,
@@ -167,11 +177,13 @@ func main() {
 				Measure: *measure,
 			}),
 			Version: journal.BuildVersion(),
-		})
+		}
+		jrnl, err := jf.Open(fp)
 		if err != nil {
 			fatal("%v", err)
 		}
 		defer jrnl.Close()
+		status.SetMeta(fp.Config, jf.Path)
 
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stop()
@@ -183,23 +195,30 @@ func main() {
 			Res   sim.Result `json:"res"`
 			Wraps uint64     `json:"wraps"`
 		}
+		for _, pname := range pols {
+			status.AddCells("replay/" + hash + "/" + strings.TrimSpace(pname))
+		}
 		opts := parallel.RunOpts{Retries: jf.Retries, Timeout: jf.Timeout, KeepGoing: true}
 		results, polErrs, err := parallel.MapErr(ctx, opts, len(pols), func(ctx context.Context, i int) (replayRes, error) {
 			pname := strings.TrimSpace(pols[i])
 			key := "replay/" + hash + "/" + pname
+			status.CellRunning(key)
 			var rr replayRes
 			if hit, err := jrnl.Load(key, &rr); err != nil {
 				return replayRes{}, err
 			} else if hit {
+				status.CellDone(key, obs.CellJournal, 0)
 				return rr, nil
 			}
 			pf, err := sim.Policy(pname)
 			if err != nil {
 				return replayRes{}, err
 			}
+			t0 := time.Now()
 			gen := trace.NewReplayGenerator(*replay, recs)
 			res := sim.RunSingle(cfg, gen, pf)
 			rr = replayRes{Res: res, Wraps: gen.Wraps}
+			status.CellDone(key, obs.CellOK, time.Since(t0))
 			return rr, jrnl.Record(key, rr)
 		})
 		if err != nil {
@@ -219,6 +238,7 @@ func main() {
 				failed++
 				fmt.Printf("%-14s FAILED: %v\n", pname, polErrs[i])
 				jrnl.RecordFailure("replay/"+hash+"/"+pname, polErrs[i])
+				status.CellDone("replay/"+hash+"/"+pname, obs.CellFailed, 0)
 				continue
 			}
 			fmt.Printf("%-14s IPC %.3f  MPKI %.2f  (replay wrapped %d times)\n",

@@ -25,6 +25,7 @@ import (
 	"mpppb/internal/core"
 	"mpppb/internal/experiments"
 	"mpppb/internal/journal"
+	"mpppb/internal/obs"
 	"mpppb/internal/parallel"
 	"mpppb/internal/prof"
 	"mpppb/internal/search"
@@ -45,6 +46,7 @@ func main() {
 		j        = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines; each evaluation fans its training segments across them (1 = serial)")
 	)
 	jf := journal.RegisterFlags(flag.CommandLine)
+	of := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	defer prof.Start()()
 	parallel.SetDefault(*j)
@@ -65,7 +67,7 @@ func main() {
 		Warmup   uint64 `json:"warmup"`
 		Measure  uint64 `json:"measure"`
 	}
-	jrnl, err := jf.Open(journal.Fingerprint{
+	fp := journal.Fingerprint{
 		Config: journal.ConfigHash(fingerprintConfig{
 			Tool:     "mpppb-tune",
 			Mode:     *mode,
@@ -75,12 +77,25 @@ func main() {
 		}),
 		Version: journal.BuildVersion(),
 		Seed:    int64(*seed),
-	})
+	}
+	jrnl, err := jf.Open(fp)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mpppb-tune: %v\n", err)
 		os.Exit(1)
 	}
 	defer jrnl.Close()
+
+	// The tuner's search loops have no cell grid to declare, so /status
+	// reports uptime only; /metrics still carries the pool, journal and sim
+	// phase counters, and /debug/pprof profiles the search.
+	status := obs.NewRunStatus("mpppb-tune")
+	status.SetMeta(fp.Config, jf.Path)
+	obsStop, err := of.Start(status)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpppb-tune: %v\n", err)
+		os.Exit(1)
+	}
+	defer obsStop()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"mpppb/internal/cache"
+	"mpppb/internal/obs"
 	"mpppb/internal/trace"
 	"mpppb/internal/xrand"
 )
@@ -126,5 +127,38 @@ func TestSteadyStateAccessDoesNotAllocate(t *testing.T) {
 		n++
 	}); avg != 0 {
 		t.Fatalf("steady-state LLC access allocates %v times per access", avg)
+	}
+}
+
+// TestSteadyStateAccessDoesNotAllocateWithObs repeats the steady-state
+// guard with observability in its default deployment: metrics registered
+// in the process-wide registry and updated every step, with no -listen
+// server attached. The obs layer promises updates are plain atomic ops, so
+// instrumentation must not cost the hot path its zero-alloc property.
+func TestSteadyStateAccessDoesNotAllocateWithObs(t *testing.T) {
+	m := NewMPPPB(2048, 16, SingleThreadParams())
+	c := cache.New("llc", 2048, 16, m)
+	ctr := obs.Default().Counter("mpppb_core_test_accesses_total", "zero-alloc guard probe")
+	hist := obs.Default().Histogram("mpppb_core_test_seconds", "zero-alloc guard probe", obs.LatencyBuckets)
+	var disabled *obs.Counter
+	step := func(i int) {
+		c.Access(cache.Access{
+			PC:   0x400000 + uint64(i%13)*4,
+			Addr: uint64(i)*88 + uint64(i%7)<<14,
+			Type: trace.Load,
+		})
+		ctr.Inc()
+		hist.Observe(0.004)
+		disabled.Inc()
+	}
+	for i := 0; i < 50000; i++ {
+		step(i)
+	}
+	n := 50000
+	if avg := testing.AllocsPerRun(2000, func() {
+		step(n)
+		n++
+	}); avg != 0 {
+		t.Fatalf("instrumented steady-state LLC access allocates %v times per access", avg)
 	}
 }

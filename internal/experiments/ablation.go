@@ -9,7 +9,6 @@ import (
 	"mpppb/internal/core"
 	"mpppb/internal/parallel"
 	"mpppb/internal/sim"
-	"mpppb/internal/stats"
 	"mpppb/internal/workload"
 )
 
@@ -57,7 +56,7 @@ func multiCoreGeomeanWS(cfg sim.Config, pf sim.PolicyFactory, mixes []workload.M
 			speedups[i] = math.NaN()
 		}
 	}
-	return stats.GeoMean(speedups), nil
+	return r.geoMean(speedups), nil
 }
 
 // MultiCoreWith runs MPPPB with explicit parameters over the given mixes

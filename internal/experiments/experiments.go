@@ -14,9 +14,28 @@ import (
 	"time"
 
 	"mpppb/internal/journal"
+	"mpppb/internal/obs"
 	"mpppb/internal/parallel"
 	"mpppb/internal/sim"
+	"mpppb/internal/stats"
 	"mpppb/internal/workload"
+)
+
+// Cell-grid metrics: one observation per cell, fed by runCells — the
+// single choke point every experiment driver funnels through.
+var (
+	mCellsDeclared = obs.Default().Gauge("mpppb_experiments_cells_total",
+		"grid cells declared by the experiment drivers this run")
+	mCellsComputed = obs.Default().Counter("mpppb_experiments_cells_computed_total",
+		"cells computed to completion (excludes journal hits)")
+	mCellsJournal = obs.Default().Counter("mpppb_experiments_cells_journal_total",
+		"cells served from the checkpoint journal instead of recomputed")
+	mCellsFailed = obs.Default().Counter("mpppb_experiments_cells_failed_total",
+		"cells that exhausted their attempts and render as NaN")
+	mCellSeconds = obs.Default().Histogram("mpppb_experiments_cell_seconds",
+		"wall time per computed cell", obs.LatencyBuckets)
+	mDegenerateGeoMean = obs.Default().Counter("mpppb_experiments_degenerate_geomean_inputs_total",
+		"non-positive values absorbed as NaN by KeepGoing geomean aggregation")
 )
 
 // Progress receives human-readable status lines; nil disables reporting.
@@ -81,9 +100,17 @@ type Run struct {
 	// recorded as a FAILED journal entry and an entry in Failures(), its
 	// slots in the result table hold NaN (rendered "NaN" in the TSVs), and
 	// the remaining cells still run. Without it the first failure aborts.
+	// Geomean aggregation is lenient under KeepGoing too: a degenerate
+	// non-positive cell value (an IPC of 0 from a zero-instruction
+	// segment) poisons its aggregate to NaN instead of panicking.
 	KeepGoing bool
 	// Progress receives status lines; nil disables.
 	Progress Progress
+	// Status, when non-nil, receives the live cell-grid manifest (the
+	// /status endpoint of the cmd tools' -listen flag): cells are declared
+	// as grids are built and transition pending → running → ok/journal/
+	// failed as workers report.
+	Status *obs.RunStatus
 
 	mu       sync.Mutex
 	failures []CellFailure
@@ -114,6 +141,33 @@ func (r *Run) prog() Progress {
 		return nil
 	}
 	return r.Progress
+}
+
+func (r *Run) status() *obs.RunStatus {
+	if r == nil {
+		return nil
+	}
+	return r.Status
+}
+
+func (r *Run) keepGoing() bool { return r != nil && r.KeepGoing }
+
+// geoMean aggregates with the strictness the run's failure policy implies.
+// Fail-fast runs use stats.GeoMean, whose panic on a non-positive entry
+// aborts the experiment — a degenerate cell value must not silently shape
+// a table. KeepGoing runs were designed to degrade instead, so they use
+// the lenient form: the aggregate renders NaN (exactly like a failed
+// cell's slots) and the degenerate inputs are counted and reported.
+func (r *Run) geoMean(xs []float64) float64 {
+	if !r.keepGoing() {
+		return stats.GeoMean(xs)
+	}
+	gm, bad := stats.GeoMeanLenient(xs)
+	if bad > 0 {
+		mDegenerateGeoMean.Add(uint64(bad))
+		r.prog().log("warning: %d non-positive value(s) in a geomean aggregate; rendering NaN", bad)
+	}
+	return gm
 }
 
 func (r *Run) popts() parallel.RunOpts {
@@ -158,22 +212,35 @@ func (r *Run) Failures() []CellFailure {
 // on resume.
 func runCells[T any](r *Run, keys []string, compute func(ctx context.Context, i int) (T, error)) ([]T, []error, error) {
 	trk := r.prog().tracker(len(keys))
+	st := r.status()
+	st.AddCells(keys...)
+	mCellsDeclared.Add(int64(len(keys)))
 	j := r.jrnl()
 	results, errs, err := parallel.MapErr(r.ctx(), r.popts(), len(keys), func(ctx context.Context, i int) (T, error) {
 		var v T
+		st.CellRunning(keys[i])
 		if ok, lerr := j.Load(keys[i], &v); lerr != nil {
 			return v, lerr
 		} else if ok {
+			st.CellDone(keys[i], obs.CellJournal, 0)
+			mCellsJournal.Inc()
 			trk.step("%s (from journal)", keys[i])
 			return v, nil
 		}
+		t0 := time.Now()
 		v, cerr := compute(ctx, i)
 		if cerr != nil {
+			// Not marked failed here: parallel may still retry this cell.
+			// Permanent failures are settled below, after MapErr returns.
 			return v, cerr
 		}
 		if rerr := j.Record(keys[i], v); rerr != nil {
 			return v, rerr
 		}
+		elapsed := time.Since(t0)
+		st.CellDone(keys[i], obs.CellOK, elapsed)
+		mCellsComputed.Inc()
+		mCellSeconds.Observe(elapsed.Seconds())
 		trk.step("%s", keys[i])
 		return v, nil
 	})
@@ -183,6 +250,8 @@ func runCells[T any](r *Run, keys []string, compute func(ctx context.Context, i 
 		}
 		j.RecordFailure(keys[i], e)
 		r.addFailure(keys[i], e)
+		st.CellDone(keys[i], obs.CellFailed, 0)
+		mCellsFailed.Inc()
 	}
 	return results, errs, err
 }

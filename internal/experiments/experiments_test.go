@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"math"
 	"testing"
 
 	"mpppb/internal/core"
@@ -211,5 +212,32 @@ func TestFig3Small(t *testing.T) {
 	}
 	if res.Evaluations == 0 {
 		t.Fatal("no evaluations counted")
+	}
+}
+
+// TestGeoMeanFollowsFailurePolicy pins the aggregation contract: fail-fast
+// runs abort on a degenerate (non-positive) cell value, KeepGoing runs
+// absorb it as a NaN aggregate — matching how failed cells already render.
+func TestGeoMeanFollowsFailurePolicy(t *testing.T) {
+	clean := []float64{1, 2, 4}
+	poisoned := []float64{1, 0, 4}
+
+	lenient := &Run{KeepGoing: true}
+	if gm := lenient.geoMean(clean); gm != 2 {
+		t.Fatalf("KeepGoing geomean of clean input = %g, want 2", gm)
+	}
+	if gm := lenient.geoMean(poisoned); !math.IsNaN(gm) {
+		t.Fatalf("KeepGoing geomean of poisoned input = %g, want NaN", gm)
+	}
+
+	for name, r := range map[string]*Run{"nil": nil, "failfast": {}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s run: geomean of poisoned input did not panic", name)
+				}
+			}()
+			r.geoMean(poisoned)
+		}()
 	}
 }

@@ -105,7 +105,7 @@ func MultiCore(cfg sim.Config, policies []string, mixes []workload.Mix, r *Run) 
 	}
 
 	for _, p := range append([]string{"lru"}, policies...) {
-		t.GeomeanSpeedup[p] = stats.GeoMean(t.WeightedSpeedup[p])
+		t.GeomeanSpeedup[p] = r.geoMean(t.WeightedSpeedup[p])
 		t.MeanMPKI[p] = stats.Mean(t.MPKI[p])
 	}
 	return t, nil

@@ -154,7 +154,7 @@ func SingleThread(cfg sim.Config, policies []string, benches []string, r *Run) (
 			sp = append(sp, t.Speedup[p][b])
 			mp = append(mp, t.MPKI[p][b])
 		}
-		t.GeomeanSpeedup[p] = stats.GeoMean(sp)
+		t.GeomeanSpeedup[p] = r.geoMean(sp)
 		t.MeanMPKI[p] = stats.Mean(mp)
 	}
 	return t, nil

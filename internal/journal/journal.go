@@ -132,6 +132,7 @@ func Resume(path string, fp Fingerprint) (*Journal, error) {
 		f.Close()
 		return nil, err
 	}
+	mResumedEntries.Add(uint64(len(entries)))
 	return &Journal{f: f, path: path, entries: entries}, nil
 }
 
@@ -205,6 +206,7 @@ func (j *Journal) Record(key string, v any) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.entries[key] = rec
+	mRecorded.Inc()
 	return j.writeLine(rec)
 }
 
@@ -219,6 +221,7 @@ func (j *Journal) RecordFailure(key string, cellErr error) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.entries[key] = rec
+	mFailuresRecorded.Inc()
 	return j.writeLine(rec)
 }
 
@@ -238,6 +241,7 @@ func (j *Journal) Load(key string, v any) (bool, error) {
 	if err := json.Unmarshal(rec.Value, v); err != nil {
 		return false, fmt.Errorf("journal: unmarshal %s: %w", key, err)
 	}
+	mServed.Inc()
 	return true, nil
 }
 

@@ -1,0 +1,15 @@
+package journal
+
+import "mpppb/internal/obs"
+
+// Journal metrics: one update per cell-sized event, never on a hot path.
+var (
+	mRecorded = obs.Default().Counter("mpppb_journal_cells_recorded_total",
+		"completed cells appended to the journal")
+	mFailuresRecorded = obs.Default().Counter("mpppb_journal_failures_recorded_total",
+		"FAILED markers appended to the journal")
+	mResumedEntries = obs.Default().Counter("mpppb_journal_cells_resumed_total",
+		"distinct cell entries loaded from a journal by -resume")
+	mServed = obs.Default().Counter("mpppb_journal_cells_served_total",
+		"Load hits: cells served from the journal instead of recomputed")
+)

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Flags is the standard observability flag set shared by the cmd tools.
+// Register it with RegisterFlags, then Start after flag.Parse with the
+// run's status manifest.
+type Flags struct {
+	// Listen is the -listen flag: an address for the /metrics + /status +
+	// /debug/pprof HTTP server. Empty disables it.
+	Listen string
+	// Progress is the -progress flag: the stderr heartbeat interval. Zero
+	// disables it.
+	Progress time.Duration
+}
+
+// RegisterFlags installs -listen and -progress on fs (typically
+// flag.CommandLine) and returns the destination struct.
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Listen, "listen", "", "serve /metrics, /status and /debug/pprof on this address (e.g. :8080) for the duration of the run")
+	fs.DurationVar(&f.Progress, "progress", 0, "print a progress heartbeat to stderr at this interval, e.g. 5s (0 = off)")
+	return f
+}
+
+// Start activates the configured observability sinks for st: the HTTP
+// server when -listen was given (its bound address is announced on stderr)
+// and the heartbeat ticker when -progress was given. The returned stop
+// function shuts both down and is safe to call multiple times; it is
+// always non-nil, so callers `defer stop()` unconditionally. Everything
+// here writes to stderr or HTTP only — stdout output is untouched, so
+// TSVs stay byte-identical with observability on.
+func (f *Flags) Start(st *RunStatus) (stop func(), err error) {
+	if f == nil {
+		return func() {}, nil
+	}
+	var srv *Server
+	if f.Listen != "" {
+		srv, err = Serve(f.Listen, Default(), st)
+		if err != nil {
+			return func() {}, err
+		}
+		fmt.Fprintf(os.Stderr, "obs: serving /metrics /status /debug/pprof on http://%s\n", srv.Addr())
+	}
+	tick := StartProgress(os.Stderr, f.Progress, st.Line)
+	return func() {
+		tick()
+		srv.Close()
+	}, nil
+}

@@ -1,0 +1,218 @@
+// Package obs is the live observability layer: a dependency-free registry
+// of atomic counters, gauges, and fixed-bucket histograms, a hand-rolled
+// Prometheus text exporter, a JSON run-status manifest, a TTY-aware stderr
+// progress ticker, and an HTTP server exposing /metrics, /status, and
+// /debug/pprof/* on the cmd tools' -listen flag.
+//
+// Design constraints, in order:
+//
+//   - Zero interference. Observability output goes to stderr and HTTP only;
+//     the TSV tables on stdout are byte-identical with and without it, the
+//     same way sim.Result.Deterministic() zeroes the throughput fields.
+//   - Zero hot-path cost. Metric updates are single atomic operations and
+//     never allocate (pinned by TestMetricOpsDoNotAllocate); every metric
+//     method is nil-safe, so a disabled metric — a nil pointer from a nil
+//     *Registry — is a branch and a return. Instrumentation sites therefore
+//     thread metric pointers unconditionally.
+//   - No dependencies. The Prometheus text format and the /status JSON are
+//     rendered by hand from the standard library.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is ready to
+// use; all methods are safe for concurrent use and no-ops on a nil
+// receiver.
+type Counter struct {
+	v    atomic.Uint64
+	name string
+	help string
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil Counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an integer value that can go up and down. The zero value is
+// ready to use; all methods are safe for concurrent use and no-ops on a
+// nil receiver.
+type Gauge struct {
+	v    atomic.Int64
+	name string
+	help string
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds d (negative to decrease).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 on a nil Gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// FloatGauge is a float64 gauge (throughput rates, ratios), stored as
+// atomic bits. The zero value is ready to use; methods are nil-safe.
+type FloatGauge struct {
+	bits atomic.Uint64
+	name string
+	help string
+}
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the current value (0 on a nil FloatGauge).
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed upper-bound buckets (a final
+// +Inf bucket is implicit) and tracks their sum, Prometheus-style:
+// bucket counts are cumulative when rendered. All methods are safe for
+// concurrent use and no-ops on a nil receiver.
+type Histogram struct {
+	bounds  []float64 // strictly increasing upper bounds, +Inf excluded
+	counts  []atomic.Uint64
+	inf     atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 sum, CAS-updated
+	name    string
+	help    string
+}
+
+// newHistogram builds a histogram with the given bucket upper bounds.
+func newHistogram(name, help string, bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly increasing")
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)), name: name, help: help}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket lists are short (≤ ~16) and the scan avoids the
+	// bounds-check and branch-miss cost of a binary search at these sizes.
+	idx := -1
+	for i, ub := range h.bounds {
+		if v <= ub {
+			idx = i
+			break
+		}
+	}
+	if idx >= 0 {
+		h.counts[idx].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		s := math.Float64frombits(old) + v
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on a nil Histogram).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on a nil Histogram).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Mean returns the mean observed value, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	if n := h.Count(); n > 0 {
+		return h.Sum() / float64(n)
+	}
+	return 0
+}
+
+// Buckets returns the upper bounds and their cumulative counts (the +Inf
+// bucket is the final Count()). Nil on a nil Histogram.
+func (h *Histogram) Buckets() (bounds []float64, cumulative []uint64) {
+	if h == nil {
+		return nil, nil
+	}
+	bounds = append(bounds, h.bounds...)
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		cumulative = append(cumulative, cum)
+	}
+	return bounds, cumulative
+}
+
+// LatencyBuckets is the default bucket layout for wall-clock durations in
+// seconds: 1ms up to ~16 minutes, doubling. Cell and task latencies in this
+// repository span milliseconds (fast MPKI runs) to minutes (full campaigns
+// under -check), which this ladder covers with one bucket per octave.
+var LatencyBuckets = []float64{
+	0.001, 0.002, 0.004, 0.008, 0.016, 0.031, 0.062, 0.125, 0.25, 0.5,
+	1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024,
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// StartProgress emits line() to w every interval until the returned stop
+// function is called — the heartbeat for runs without -listen. When w is a
+// terminal the line rewrites in place (carriage return + erase-to-end);
+// otherwise each tick appends a plain line, safe for log files and CI.
+// stop prints one final line (terminated, on a TTY, with a newline so the
+// shell prompt doesn't overwrite it) and is idempotent.
+func StartProgress(w io.Writer, interval time.Duration, line func() string) (stop func()) {
+	if interval <= 0 {
+		return func() {}
+	}
+	tty := isTerminal(w)
+	emit := func(s string) {
+		if s == "" {
+			return
+		}
+		if tty {
+			fmt.Fprintf(w, "\r%s\x1b[K", s)
+		} else {
+			fmt.Fprintf(w, "%s\n", s)
+		}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				emit(line())
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+			emit(line())
+			if tty {
+				fmt.Fprintln(w)
+			}
+		})
+	}
+}
+
+// isTerminal reports whether w is a character device (a TTY). It only
+// recognizes *os.File; anything else — buffers, pipes wrapped in writers —
+// is treated as not a terminal, which degrades to plain line output.
+func isTerminal(w io.Writer) bool {
+	f, ok := w.(*os.File)
+	if !ok {
+		return false
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
+}

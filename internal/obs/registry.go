@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry holds named metrics and renders them in the Prometheus text
+// exposition format. Lookups are idempotent: asking for an existing name
+// returns the existing metric, so packages can declare their metrics at
+// init without coordinating. All methods are safe for concurrent use and
+// nil-safe — every constructor on a nil *Registry returns a nil metric,
+// whose methods are no-ops, which is how "observability disabled" costs
+// one branch per update.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]any
+}
+
+// defaultRegistry is the process-wide registry behind Default. It always
+// exists: metric updates are single atomic ops, cheap enough to stay on
+// unconditionally, and the -listen HTTP server is what turns exposure on.
+var defaultRegistry = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: map[string]any{}}
+}
+
+// Default returns the process-wide registry the instrumented packages
+// (parallel, journal, sim, experiments) register into.
+func Default() *Registry { return defaultRegistry }
+
+// validName reports whether name is a legal Prometheus metric name.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup returns the existing metric for name or creates one with mk.
+// Registering one name as two different kinds is a programming error.
+func lookup[T any](r *Registry, name string, mk func() *T) *T {
+	if r == nil {
+		return nil
+	}
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		t, ok := m.(*T)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q re-registered as a different kind (%T)", name, m))
+		}
+		return t
+	}
+	t := mk()
+	r.metrics[name] = t
+	return t
+}
+
+// Counter returns the counter registered under name, creating it with help
+// on first use. Nil on a nil Registry.
+func (r *Registry) Counter(name, help string) *Counter {
+	return lookup(r, name, func() *Counter { return &Counter{name: name, help: help} })
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return lookup(r, name, func() *Gauge { return &Gauge{name: name, help: help} })
+}
+
+// FloatGauge returns the float gauge registered under name, creating it on
+// first use.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	return lookup(r, name, func() *FloatGauge { return &FloatGauge{name: name, help: help} })
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use with the given bucket upper bounds (+Inf implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	return lookup(r, name, func() *Histogram { return newHistogram(name, help, bounds) })
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), sorted by name so the output is
+// stable for goldens and diffing. No-op on a nil Registry.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	metrics := make([]any, len(names))
+	sort.Strings(names)
+	for i, name := range names {
+		metrics[i] = r.metrics[name]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for i, name := range names {
+		switch m := metrics[i].(type) {
+		case *Counter:
+			writeHeader(&b, name, m.help, "counter")
+			fmt.Fprintf(&b, "%s %d\n", name, m.Value())
+		case *Gauge:
+			writeHeader(&b, name, m.help, "gauge")
+			fmt.Fprintf(&b, "%s %d\n", name, m.Value())
+		case *FloatGauge:
+			writeHeader(&b, name, m.help, "gauge")
+			fmt.Fprintf(&b, "%s %s\n", name, formatFloat(m.Value()))
+		case *Histogram:
+			writeHeader(&b, name, m.help, "histogram")
+			bounds, cum := m.Buckets()
+			for j, ub := range bounds {
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, formatFloat(ub), cum[j])
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, m.Count())
+			fmt.Fprintf(&b, "%s_sum %s\n", name, formatFloat(m.Sum()))
+			fmt.Fprintf(&b, "%s_count %d\n", name, m.Count())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHeader emits the # HELP / # TYPE preamble for one metric.
+func writeHeader(b *strings.Builder, name, help, kind string) {
+	if help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", name, strings.ReplaceAll(help, "\n", " "))
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", name, kind)
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest exact
+// decimal representation.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

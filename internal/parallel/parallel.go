@@ -180,6 +180,29 @@ func MapErr[T any](ctx context.Context, o RunOpts, n int, fn func(ctx context.Co
 	results := make([]T, n)
 	errs := make([]error, n)
 
+	// Queue accounting: all n items are enqueued up front; run() moves one
+	// from queued to in-flight. Items never dispatched (cancellation or
+	// fail-fast) are drained from the gauge on return.
+	mQueueDepth.Add(int64(n))
+	var dispatched atomic.Int64
+	defer func() { mQueueDepth.Add(dispatched.Load() - int64(n)) }()
+	run := func(ctx context.Context, i int) (T, error) {
+		dispatched.Add(1)
+		mQueueDepth.Add(-1)
+		mTasksStarted.Inc()
+		mInflight.Inc()
+		t0 := time.Now()
+		v, err := attempt(ctx, o, fn, i)
+		mInflight.Dec()
+		mTaskSeconds.Observe(time.Since(t0).Seconds())
+		if err != nil {
+			mTasksFailed.Inc()
+		} else {
+			mTasksCompleted.Inc()
+		}
+		return v, err
+	}
+
 	if workers == 1 {
 		// Degenerate serial path: same goroutine, same call order as a
 		// plain loop, so -j 1 reproduces pre-pool behavior exactly.
@@ -187,7 +210,7 @@ func MapErr[T any](ctx context.Context, o RunOpts, n int, fn func(ctx context.Co
 			if err := ctx.Err(); err != nil {
 				return results, errs, err
 			}
-			results[i], errs[i] = attempt(ctx, o, fn, i)
+			results[i], errs[i] = run(ctx, i)
 			if errs[i] != nil && !o.KeepGoing {
 				return results, errs, errs[i]
 			}
@@ -216,7 +239,7 @@ func MapErr[T any](ctx context.Context, o RunOpts, n int, fn func(ctx context.Co
 				if i >= n || poolCtx.Err() != nil {
 					return
 				}
-				results[i], errs[i] = attempt(poolCtx, o, fn, i)
+				results[i], errs[i] = run(poolCtx, i)
 				if errs[i] != nil && !o.KeepGoing {
 					cancel()
 				}
@@ -258,6 +281,7 @@ func attempt[T any](ctx context.Context, o RunOpts, fn func(ctx context.Context,
 		if err == nil || a >= o.Retries || ctx.Err() != nil || !Retryable(err) {
 			return v, err
 		}
+		mTasksRetried.Inc()
 		t := time.NewTimer(delay)
 		select {
 		case <-ctx.Done():

@@ -92,14 +92,17 @@ func RunMulti(cfg Config, mix workload.Mix, pf PolicyFactory) MultiResult {
 		}
 		return true
 	}
+	endWarmup := startPhase(mWarmupPhases)
 	for !warmed() {
 		step(pickNext())
 	}
+	endWarmup()
 	for i := 0; i < 4; i++ {
 		cores[i].ResetStats()
 		hs[i].ResetStats()
 	}
 	llc.ResetStats()
+	endMeasure := startPhase(mMeasurePhases)
 
 	// Measure until every core has executed cfg.Measure instructions. All
 	// cores keep running so contention persists for the laggards, but each
@@ -131,12 +134,14 @@ func RunMulti(cfg Config, mix workload.Mix, pf PolicyFactory) MultiResult {
 		step(pickNext())
 	}
 
+	endMeasure()
 	var totalInstr uint64
 	for i := 0; i < 4; i++ {
 		totalInstr += res.Instructions[i]
 	}
 	res.LLCMisses = llc.Stats.DemandMisses + llc.Stats.PrefetchMisses
 	res.LLCAccesses = llc.Stats.DemandAccesses + llc.Stats.PrefetchAccesses
+	mMeasuredAccesses.Add(res.LLCAccesses)
 	res.MPKI = stats.MPKI(llc.Stats.DemandMisses+llc.Stats.PrefetchMisses, totalInstr)
 	finishChecks(checks)
 	return res

@@ -123,6 +123,7 @@ func RunROC(cfg Config, gen trace.Generator, cf ConfidenceFactory) []stats.ROCSa
 	rd := &batchReader{gen: gen}
 	// As in RunFastMPKI, the instruction clock is monotonic across the
 	// warmup→measure boundary; only the loop bound resets.
+	endWarmup := startPhase(mWarmupPhases)
 	var now, instr uint64
 	for instr < cfg.Warmup {
 		rec := rd.next()
@@ -131,7 +132,9 @@ func RunROC(cfg Config, gen trace.Generator, cf ConfidenceFactory) []stats.ROCSa
 		now += n
 		instr += n
 	}
+	endWarmup()
 	probe.samples = probe.samples[:0]
+	endMeasure := startPhase(mMeasurePhases)
 	instr = 0
 	for instr < cfg.Measure {
 		rec := rd.next()
@@ -140,6 +143,7 @@ func RunROC(cfg Config, gen trace.Generator, cf ConfidenceFactory) []stats.ROCSa
 		now += n
 		instr += n
 	}
+	endMeasure()
 	finishChecks(checks)
 	return probe.samples
 }

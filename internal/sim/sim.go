@@ -8,6 +8,7 @@ package sim
 import (
 	"fmt"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"mpppb/internal/cache"
@@ -92,10 +93,13 @@ type Result struct {
 	Bypasses uint64
 	// Throughput diagnostics for the measurement phase: wall-clock
 	// seconds, simulated LLC accesses per wall-clock second, and heap
-	// allocations per LLC access (process-wide malloc delta, so
-	// approximate when other goroutines run concurrently). These vary
-	// run-to-run and are never part of determinism comparisons or golden
-	// outputs.
+	// allocations per LLC access. The allocation figure is derived from
+	// the process-wide malloc counter, which is only attributable to this
+	// run when no other measurement overlaps it — under a parallel sweep
+	// (-j > 1) neighbors' allocations would inflate it, so overlapping
+	// runs report AllocsPerAccess = -1 ("not measured") instead of a
+	// wrong number. These vary run-to-run and are never part of
+	// determinism comparisons or golden outputs.
 	SimSeconds      float64
 	AccessesPerSec  float64
 	AllocsPerAccess float64
@@ -111,23 +115,53 @@ func (r Result) Deterministic() Result {
 	return r
 }
 
+// Overlap detection for startMeasure: runtime.MemStats.Mallocs is
+// process-wide, so the malloc delta of a measurement window is only
+// attributable to its run while it is the sole measurement in flight.
+// activeMeasures counts in-flight windows; overlapEvents bumps whenever a
+// window begins with another active, so a window detects overlap both ways
+// (it started inside someone else's, or someone else started inside its).
+var (
+	activeMeasures atomic.Int64
+	overlapEvents  atomic.Uint64
+)
+
 // startMeasure samples the wall clock and process allocation counter at
 // the start of a measurement phase; the returned function fills r's
 // throughput fields from r.LLCAccesses, so call it after the LLC counters
-// are in place.
+// are in place. If any other measurement overlapped this one, the
+// process-wide malloc delta is meaningless for this run and
+// AllocsPerAccess reports -1.
 func startMeasure() func(r *Result) {
+	startedOverlapped := activeMeasures.Add(1) > 1
+	if startedOverlapped {
+		overlapEvents.Add(1)
+	}
+	seq0 := overlapEvents.Load()
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	m0, t0 := ms.Mallocs, time.Now()
 	return func(r *Result) {
 		sec := time.Since(t0).Seconds()
 		runtime.ReadMemStats(&ms)
+		overlapped := startedOverlapped || overlapEvents.Load() != seq0
+		activeMeasures.Add(-1)
 		r.SimSeconds = sec
 		if r.LLCAccesses > 0 {
 			if sec > 0 {
 				r.AccessesPerSec = float64(r.LLCAccesses) / sec
 			}
-			r.AllocsPerAccess = float64(ms.Mallocs-m0) / float64(r.LLCAccesses)
+			if overlapped {
+				r.AllocsPerAccess = -1
+			} else {
+				r.AllocsPerAccess = float64(ms.Mallocs-m0) / float64(r.LLCAccesses)
+			}
+		}
+		mMeasurePhases.Inc()
+		mPhaseSeconds.Observe(sec)
+		mMeasuredAccesses.Add(r.LLCAccesses)
+		if r.AccessesPerSec > 0 {
+			mAccessRate.Set(r.AccessesPerSec)
 		}
 	}
 }
@@ -234,7 +268,9 @@ func RunSingle(cfg Config, gen trace.Generator, pf PolicyFactory) Result {
 		}
 	}
 
+	endWarmup := startPhase(mWarmupPhases)
 	runPhase(cfg.Warmup)
+	endWarmup()
 	core.ResetStats()
 	h.ResetStats()
 	llc.ResetStats()
@@ -275,6 +311,7 @@ func RunFastMPKI(cfg Config, gen trace.Generator, pf PolicyFactory) Result {
 
 	gen.Reset()
 	rd := &batchReader{gen: gen}
+	endWarmup := startPhase(mWarmupPhases)
 	var now, instr uint64
 	for instr < cfg.Warmup {
 		rec := rd.next()
@@ -283,6 +320,7 @@ func RunFastMPKI(cfg Config, gen trace.Generator, pf PolicyFactory) Result {
 		now += n
 		instr += n
 	}
+	endWarmup()
 	h.ResetStats()
 	llc.ResetStats()
 	measure := startMeasure()

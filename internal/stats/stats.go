@@ -11,16 +11,24 @@ import (
 	"sort"
 )
 
-// MPKI computes misses per 1000 instructions.
+// MPKI computes misses per 1000 instructions. A zero-instruction window is
+// a panic, not a silent 0: it means the measurement loop never ran (a dry
+// generator, a degenerate segment) and reporting "no misses" for it would
+// corrupt aggregates undetectably. Under the experiment engine the panic
+// surfaces as a captured per-cell failure, the same way the batch readers'
+// dry-generator panic does.
 func MPKI(misses, instructions uint64) float64 {
 	if instructions == 0 {
-		return 0
+		panic(fmt.Sprintf("stats: MPKI over a zero-instruction window (%d misses); the measurement loop never ran", misses))
 	}
 	return 1000 * float64(misses) / float64(instructions)
 }
 
 // GeoMean returns the geometric mean of xs. All values must be positive;
-// it returns 0 for an empty slice.
+// it returns 0 for an empty slice. A non-positive value is a panic — the
+// strict mode for fail-fast runs; drivers that degrade gracefully
+// (experiments.Run.KeepGoing) aggregate with GeoMeanLenient instead. NaN
+// entries (failed cells) flow through and yield NaN.
 func GeoMean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
@@ -33,6 +41,25 @@ func GeoMean(xs []float64) float64 {
 		sum += math.Log(x)
 	}
 	return math.Exp(sum / float64(len(xs)))
+}
+
+// GeoMeanLenient is GeoMean for graceful-degradation paths: instead of
+// panicking, non-positive entries poison the result to NaN (matching how a
+// failed cell's NaN renders in the TSVs) and are counted in bad, so the
+// caller can log how many degenerate values — an IPC of 0 from a
+// zero-instruction segment, say — the aggregate absorbed. NaN entries also
+// yield NaN but are not counted as bad: they are explicit failure markers,
+// not silently-degenerate data.
+func GeoMeanLenient(xs []float64) (gm float64, bad int) {
+	for _, x := range xs {
+		if x <= 0 { // NaN compares false, so this counts only real non-positives
+			bad++
+		}
+	}
+	if bad > 0 {
+		return math.NaN(), bad
+	}
+	return GeoMean(xs), 0
 }
 
 // Mean returns the arithmetic mean, or 0 for an empty slice.
@@ -184,6 +211,9 @@ func AUC(points []ROCPoint) float64 {
 
 // TPRAtFPR linearly interpolates the curve's true positive rate at a target
 // false positive rate, for comparisons like the paper's "FPR 25-31% band".
+// A target beyond the curve's last point interpolates toward the (1,1)
+// anchor — the same anchor AUC integrates to — rather than returning the
+// last point's raw TPR, so the two views of one curve agree.
 func TPRAtFPR(points []ROCPoint, fpr float64) float64 {
 	if len(points) == 0 {
 		return 0
@@ -199,5 +229,11 @@ func TPRAtFPR(points []ROCPoint, fpr float64) float64 {
 		}
 		px, py = p.FPR, p.TPR
 	}
-	return points[len(points)-1].TPR
+	// fpr lies past the last measured point: interpolate the tail segment
+	// from (px,py) to the implicit (1,1) endpoint.
+	if fpr >= 1 || px >= 1 {
+		return 1
+	}
+	frac := (fpr - px) / (1 - px)
+	return py + frac*(1-py)
 }

@@ -15,9 +15,18 @@ func TestMPKI(t *testing.T) {
 	if got := MPKI(1, 2000); !almost(got, 0.5) {
 		t.Fatalf("MPKI(1,2000) = %g", got)
 	}
-	if got := MPKI(10, 0); got != 0 {
-		t.Fatalf("MPKI with zero instructions = %g, want 0", got)
-	}
+}
+
+func TestMPKIPanicsOnZeroInstructions(t *testing.T) {
+	// A zero-instruction window used to return 0 MPKI — a "perfect" score
+	// for a run that never executed, silently corrupting aggregates. It
+	// must fail loudly, like the batch readers' dry-generator panic.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MPKI(10, 0) did not panic")
+		}
+	}()
+	MPKI(10, 0)
 }
 
 func TestGeoMean(t *testing.T) {
@@ -39,6 +48,27 @@ func TestGeoMeanPanicsOnNonPositive(t *testing.T) {
 		}
 	}()
 	GeoMean([]float64{1, 0})
+}
+
+func TestGeoMeanLenient(t *testing.T) {
+	// Clean input: agrees with strict GeoMean, no bad count.
+	if gm, bad := GeoMeanLenient([]float64{2, 8}); !almost(gm, 4) || bad != 0 {
+		t.Fatalf("GeoMeanLenient(2,8) = %g, %d; want 4, 0", gm, bad)
+	}
+	// A degenerate zero (IPC 0 from a zero-instruction segment) must not
+	// panic in the lenient mode: it poisons the result to NaN and is
+	// counted, so a KeepGoing run degrades instead of aborting.
+	if gm, bad := GeoMeanLenient([]float64{1, 0, 2, -3}); !math.IsNaN(gm) || bad != 2 {
+		t.Fatalf("GeoMeanLenient(1,0,2,-3) = %g, %d; want NaN, 2", gm, bad)
+	}
+	// NaN entries are explicit failure markers, not degenerate data: the
+	// result is NaN but bad stays 0.
+	if gm, bad := GeoMeanLenient([]float64{1, math.NaN()}); !math.IsNaN(gm) || bad != 0 {
+		t.Fatalf("GeoMeanLenient(1,NaN) = %g, %d; want NaN, 0", gm, bad)
+	}
+	if gm, bad := GeoMeanLenient(nil); gm != 0 || bad != 0 {
+		t.Fatalf("GeoMeanLenient(nil) = %g, %d; want 0, 0", gm, bad)
+	}
 }
 
 func TestGeoMeanAtMostMean(t *testing.T) {
@@ -180,5 +210,36 @@ func TestTPRAtFPRInterpolation(t *testing.T) {
 	}
 	if got := TPRAtFPR(nil, 0.3); got != 0 {
 		t.Fatalf("TPRAtFPR(nil) = %g", got)
+	}
+}
+
+func TestTPRAtFPRBeyondCurveAnchorsAtOne(t *testing.T) {
+	// A confident predictor whose lowest threshold still leaves FPR at
+	// 0.5: the measured curve stops at (0.5, 0.8). AUC anchors that same
+	// curve at (1,1); a target FPR past the last threshold must
+	// interpolate along that tail, not return the last raw TPR (the old
+	// behavior, which disagreed with AUC's geometry).
+	curve := []ROCPoint{
+		{Threshold: 10, FPR: 0.0, TPR: 0.2},
+		{Threshold: 5, FPR: 0.5, TPR: 0.8},
+	}
+	// Midpoint of the (0.5,0.8)→(1,1) tail.
+	if got := TPRAtFPR(curve, 0.75); !almost(got, 0.9) {
+		t.Fatalf("TPRAtFPR(0.75) = %g, want 0.9 (tail toward (1,1))", got)
+	}
+	// At and past the anchor itself.
+	if got := TPRAtFPR(curve, 1.0); !almost(got, 1) {
+		t.Fatalf("TPRAtFPR(1.0) = %g, want 1", got)
+	}
+	// Consistency with AUC: integrating the TPRAtFPR-interpolated curve on
+	// a fine grid must reproduce the trapezoidal AUC.
+	const n = 10000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		f0, f1 := float64(i)/n, float64(i+1)/n
+		sum += (TPRAtFPR(curve, f0) + TPRAtFPR(curve, f1)) / 2 / n
+	}
+	if auc := AUC(curve); math.Abs(sum-auc) > 1e-3 {
+		t.Fatalf("integrated TPRAtFPR = %g, AUC = %g; the two views disagree", sum, auc)
 	}
 }
