@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-hotpath bench-record experiments results resume-smoke watch-smoke cover fuzz clean
+.PHONY: all build test vet race bench bench-hotpath bench-record experiments results resume-smoke watch-smoke serve-smoke cover fuzz clean
 
 all: build test
 
@@ -17,20 +17,23 @@ test: vet
 	$(GO) test -tags verify ./internal/cache ./internal/verify
 
 # Race-detector pass over the concurrent packages: the worker pool, the
-# single-flight caches, the experiment drivers that fan across them, and
-# the observability layer their workers all update.
+# single-flight caches, the experiment drivers that fan across them, the
+# observability layer their workers all update, and the advice server's
+# concurrent client soak.
 race:
-	$(GO) test -race ./internal/parallel ./internal/sim ./internal/experiments ./internal/obs
+	$(GO) test -race ./internal/parallel ./internal/sim ./internal/experiments ./internal/obs ./internal/serve
 
 # Scaled-down reproduction of every figure/table as Go benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x .
 
 # Hot-path microbenchmarks: predictor confidence, one LLC access, generator
-# batching, and the end-to-end fig6 segment. See docs/PERFORMANCE.md.
+# batching, the advice-serving round trip, and the end-to-end fig6
+# segment. See docs/PERFORMANCE.md.
 bench-hotpath:
 	$(GO) test -run NONE -bench 'BenchmarkPredictorConfidence|BenchmarkLLCAccess' -benchmem -benchtime 2s ./internal/core
 	$(GO) test -run NONE -bench BenchmarkGeneratorBatch -benchmem -benchtime 2s ./internal/workload
+	$(GO) test -run NONE -bench 'BenchmarkServeAdvice|BenchmarkApplyInline' -benchmem -benchtime 2s ./internal/serve
 	$(GO) test -run NONE -bench BenchmarkEndToEndFig6Segment -benchmem -benchtime 1x .
 
 # Record a throughput trajectory point as BENCH_<n>.json.
@@ -53,6 +56,13 @@ resume-smoke:
 watch-smoke:
 	scripts/watch_smoke.sh
 
+# End-to-end advice serving: a -check server, clients streaming a
+# benchmark segment (one verifying byte-identical advice against an
+# inline replay), /metrics accounting, and a clean SIGINT drain (see
+# scripts/serve_smoke.sh).
+serve-smoke:
+	scripts/serve_smoke.sh
+
 # Coverage gate: per-package report plus a total-% floor
 # (see scripts/cover.sh; override with COVER_BASELINE=<pct>).
 cover:
@@ -67,6 +77,7 @@ fuzz:
 	$(GO) test -run NONE -fuzz FuzzCacheOps -fuzztime $(FUZZTIME) ./internal/verify
 	$(GO) test -run NONE -fuzz FuzzJournalLoad -fuzztime $(FUZZTIME) ./internal/journal
 	$(GO) test -run NONE -fuzz FuzzTraceRoundTrip -fuzztime $(FUZZTIME) ./internal/trace
+	$(GO) test -run NONE -fuzz FuzzServeProtocol -fuzztime $(FUZZTIME) ./internal/serve
 
 clean:
 	rm -rf results

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"mpppb/internal/cache"
+	"mpppb/internal/trace"
+)
+
+// Advice is one advisory decision from the predictor: what a cache holding
+// the accessed block (hit side) or about to fill it (miss side) should do.
+// It is a pure value — applying it to an actual cache array is the
+// caller's business — which is what lets the same engine drive the inline
+// MPPPB policy and the network serving path with identical state
+// evolution.
+type Advice struct {
+	// Conf is the clamped predictor confidence (ConfMin..ConfMax); higher
+	// means more confidently dead.
+	Conf int16
+	// Bypass advises not caching the block at all (miss side only, and
+	// only when the miss allowed bypass).
+	Bypass bool
+	// Promote advises promoting the block to Pos (hit side only); when
+	// false the block's recency position should be left alone.
+	Promote bool
+	// Pos is the placement position (miss side) or promotion position
+	// (hit side), in the default policy's position units.
+	Pos int8
+	// Slot is the placement statistic slot: 0 = MRU, 1..3 = π1..π3
+	// (miss side only).
+	Slot uint8
+}
+
+// Advisor is the standalone advice engine behind MPPPB: the
+// multiperspective predictor, the training sampler, and the
+// threshold-based decision logic of Section 3.6 — everything the policy
+// does except touching a cache array. It is constructible and drivable
+// without a simulation run: feed it hit/miss events via AdviseHit and
+// AdviseMiss and it returns placement/promotion/bypass advice while
+// training itself exactly as the inline policy would.
+//
+// MPPPB embeds an Advisor and layers the default-policy victim search and
+// the cache hook protocol on top; the serving layer (internal/serve)
+// drives Advisors directly, one per client.
+type Advisor struct {
+	params  Params
+	sets    int
+	pred    *Predictor
+	sampler *sampler
+
+	// Decision counters. Exported (and promoted through MPPPB) so drivers
+	// and tests can read them directly.
+	Bypasses    uint64
+	NoPromotes  uint64
+	Placements  [4]uint64 // [0]=MRU, [1..3]=Pi index+1
+	TrainEvents uint64
+}
+
+// NewAdvisor builds a standalone advice engine modeling an LLC with the
+// given number of sets.
+func NewAdvisor(sets int, params Params) *Advisor {
+	if len(params.Features) == 0 {
+		panic("core: advisor requires a feature set")
+	}
+	return &Advisor{
+		params:  params,
+		sets:    sets,
+		pred:    NewPredictor(params.Features, sets, max(1, params.Cores)),
+		sampler: newSampler(sets, params.SamplerSets, len(params.Features), params.Theta),
+	}
+}
+
+// Predictor exposes the underlying predictor (for accuracy probes and the
+// verification layer's weight comparison).
+func (v *Advisor) Predictor() *Predictor { return v.pred }
+
+// Params returns the advisor's configuration. The verification layer uses
+// it to construct a lockstep reference with identical geometry.
+func (v *Advisor) Params() Params { return v.params }
+
+// Sets returns the number of LLC sets the advisor models.
+func (v *Advisor) Sets() int { return v.sets }
+
+// SetFor maps a block address to the advisor's set index, the way the
+// modeled LLC would index it.
+func (v *Advisor) SetFor(block uint64) int { return int(block) & (v.sets - 1) }
+
+// Predict implements the confidence interface used by the ROC probe: the
+// prediction for an access without updating any state.
+func (v *Advisor) Predict(a cache.Access, set int, insert bool) int {
+	return v.pred.Confidence(a, set, insert)
+}
+
+// predictAndTrain computes the confidence for the access and, if the set is
+// sampled, performs the sampler access that trains the tables.
+func (v *Advisor) predictAndTrain(a cache.Access, set int, insert bool) int {
+	in := v.pred.buildInput(a, set, insert)
+	conf := v.pred.computeIndices(in)
+	v.train(a, set, conf)
+	return conf
+}
+
+// train performs the sampler access that updates the weight tables, using
+// the index vector left in the predictor by its last prediction for this
+// same access.
+func (v *Advisor) train(a cache.Access, set, conf int) {
+	if ss := v.sampler.sampledSet(set); ss >= 0 {
+		v.sampler.access(v.pred, ss, a.Block(), conf, v.pred.idx)
+		v.TrainEvents++
+	}
+}
+
+// placement maps a confidence value to a recency position per Section 3.6.
+// slot indexes the Placements statistic (0 = MRU).
+func (v *Advisor) placement(conf int) (pos, slot int) {
+	switch {
+	case conf > v.params.Tau1:
+		return v.params.Pi[0], 1
+	case conf > v.params.Tau2:
+		return v.params.Pi[1], 2
+	case conf > v.params.Tau3:
+		return v.params.Pi[2], 3
+	default:
+		return 0, 0 // most-recently-used position
+	}
+}
+
+// AdviseHit is the hit-side decision (Section 3.6: "On a cache hit, if the
+// value exceeds a threshold τ4, then the block is not promoted"): predict,
+// train, decide promotion, and update predictor state. Its state evolution
+// is exactly MPPPB.Hit's. Writeback hits carry no prediction and leave all
+// state untouched, as in the inline policy.
+func (v *Advisor) AdviseHit(a cache.Access, set int) Advice {
+	if a.Type == trace.Writeback {
+		return Advice{}
+	}
+	conf := v.predictAndTrain(a, set, false)
+	adv := Advice{Conf: int16(conf)}
+	if conf > v.params.Tau4 {
+		v.NoPromotes++
+	} else {
+		adv.Promote = true
+		adv.Pos = int8(v.params.PromotePos)
+	}
+	v.pred.observe(a, set, false, true)
+	return adv
+}
+
+// AdviseMiss is the miss-side decision: predict, train, decide bypass
+// versus placement position, and update predictor state. mayBypass
+// reports whether the caller is able to decline the fill — false when the
+// set has an invalid frame, mirroring cache.Cache, which only consults
+// Victim (the bypass point) when the set is full. Its state evolution is
+// exactly the Victim+Fill (or bare Fill) sequence of the inline policy.
+// Writeback misses never allocate and leave all state untouched.
+func (v *Advisor) AdviseMiss(a cache.Access, set int, mayBypass bool) Advice {
+	if a.Type == trace.Writeback {
+		return Advice{Bypass: true}
+	}
+	in := v.pred.buildInput(a, set, true)
+	conf := v.pred.computeIndices(in)
+	v.train(a, set, conf)
+	if mayBypass && v.params.BypassEnabled && conf > v.params.Tau0 {
+		v.Bypasses++
+		v.pred.observe(a, set, true, false)
+		return Advice{Conf: int16(conf), Bypass: true}
+	}
+	pos, slot := v.placement(conf)
+	v.Placements[slot]++
+	v.pred.observe(a, set, true, true)
+	return Advice{Conf: int16(conf), Pos: int8(pos), Slot: uint8(slot)}
+}
+
+// ForEachSamplerEntry visits every valid sampler entry with its sampler
+// set, LRU position, partial tag, and stored confidence. Exposed for the
+// verification layer's lockstep sampler comparison.
+func (v *Advisor) ForEachSamplerEntry(fn func(set, pos int, tag uint16, conf int)) {
+	s := v.sampler
+	for set := 0; set < s.sets; set++ {
+		for w := 0; w < SamplerWays; w++ {
+			e := &s.entries[set*SamplerWays+w]
+			if e.valid {
+				fn(set, int(e.pos), e.tag, int(e.conf))
+			}
+		}
+	}
+}
+
+// CheckState validates the advisor's structural invariants — weights
+// within saturation bounds and well-formed sampler LRU state — returning
+// the first violation found, or nil. Read-only and safe at any point.
+func (v *Advisor) CheckState() error {
+	if err := v.pred.checkWeights(); err != nil {
+		return err
+	}
+	return v.sampler.checkInvariants()
+}
+
+// Stats returns the advisor's decision counters.
+func (v *Advisor) Stats() PolicyStats {
+	return PolicyStats{
+		Bypasses:    v.Bypasses,
+		NoPromotes:  v.NoPromotes,
+		TrainEvents: v.TrainEvents,
+		Placements:  v.Placements,
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+
+	"mpppb/internal/cache"
+	"mpppb/internal/trace"
+)
+
+// testGen is a tiny deterministic access-pattern generator: a mix of a
+// hot reused region, a streaming scan, and pointer-chase-like noise, with
+// occasional stores, so hits, misses, bypasses, and promotions all occur.
+type testGen struct{ state, i uint64 }
+
+func newTestGen(seed uint64) *testGen { return &testGen{state: seed} }
+
+func (g *testGen) next64() uint64 {
+	g.state ^= g.state << 13
+	g.state ^= g.state >> 7
+	g.state ^= g.state << 17
+	return g.state
+}
+
+func (g *testGen) Next(rec *trace.Record) {
+	g.i++
+	r := g.next64()
+	switch r % 4 {
+	case 0: // hot region, heavily reused
+		rec.Addr = 0x10000 + (r>>8)%64*64
+		rec.PC = 0x400100
+	case 1: // streaming scan, never reused
+		rec.Addr = 0x900000 + g.i*64
+		rec.PC = 0x400200
+	case 2: // medium working set
+		rec.Addr = 0x40000 + (r>>8)%2048*64
+		rec.PC = 0x400300 + (r>>20)%4*8
+	default: // scattered noise
+		rec.Addr = (r >> 4) & 0xffffff8
+		rec.PC = 0x400400
+	}
+	rec.IsWrite = r%13 == 0
+	rec.NonMem = uint16(r % 5)
+}
+
+// TestAdvisorMirrorsMPPPB drives an LLC under the inline MPPPB policy and
+// mirrors every access outcome onto a standalone Advisor: hits become
+// AdviseHit events, misses become AdviseMiss events with mayBypass set
+// exactly when the cache consulted Victim (set full). The advisor must
+// reproduce the inline policy's bypass decisions access-for-access and end
+// with byte-identical predictor weights, sampler contents, and decision
+// counters — this is the decoupling guarantee the serving layer relies on.
+func TestAdvisorMirrorsMPPPB(t *testing.T) {
+	const sets, ways = 64, 4
+	params := SingleThreadParams()
+	params.SamplerSets = 16
+
+	m := NewMPPPB(sets, ways, params)
+	llc := cache.New("llc", sets, ways, m)
+	adv := NewAdvisor(sets, params)
+
+	gen := newTestGen(12345)
+	var rec trace.Record
+	for i := 0; i < 200_000; i++ {
+		gen.Next(&rec)
+		a := cache.Access{PC: rec.PC, Addr: rec.Addr, Type: trace.Load}
+		if rec.IsWrite {
+			a.Type = trace.Store
+		}
+		set := llc.SetIndex(a.Block())
+		if set != adv.SetFor(a.Block()) {
+			t.Fatalf("set mapping diverged: cache %d, advisor %d", set, adv.SetFor(a.Block()))
+		}
+		r := llc.Access(a)
+		if r.Hit {
+			ad := adv.AdviseHit(a, set)
+			if ad.Bypass {
+				t.Fatalf("access %d: hit advice claims bypass", i)
+			}
+			continue
+		}
+		// The cache consulted Victim (the bypass point) iff the set was
+		// full: either the policy bypassed, or a valid block was evicted.
+		mayBypass := r.Bypassed || r.EvictedValid
+		ad := adv.AdviseMiss(a, set, mayBypass)
+		if ad.Bypass != r.Bypassed {
+			t.Fatalf("access %d: advisor bypass=%v, inline policy bypass=%v", i, ad.Bypass, r.Bypassed)
+		}
+	}
+
+	if m.Stats() != adv.Stats() {
+		t.Fatalf("decision counters diverged:\n  inline  %v\n  advisor %v", m.Stats(), adv.Stats())
+	}
+	if m.Bypasses == 0 || m.TrainEvents == 0 {
+		t.Fatalf("degenerate run: bypasses=%d trains=%d", m.Bypasses, m.TrainEvents)
+	}
+
+	// Full state comparison: every weight and every sampler entry.
+	type weight struct{ feature, index int }
+	want := map[weight]int8{}
+	m.Predictor().ForEachWeight(func(f, ix int, w int8) { want[weight{f, ix}] = w })
+	adv.Predictor().ForEachWeight(func(f, ix int, w int8) {
+		if want[weight{f, ix}] != w {
+			t.Fatalf("weight table %d index %d: inline %d, advisor %d", f, ix, want[weight{f, ix}], w)
+		}
+	})
+	type sampKey struct{ set, pos int }
+	type sampVal struct {
+		tag  uint16
+		conf int
+	}
+	wantSamp := map[sampKey]sampVal{}
+	nInline := 0
+	m.ForEachSamplerEntry(func(set, pos int, tag uint16, conf int) {
+		wantSamp[sampKey{set, pos}] = sampVal{tag, conf}
+		nInline++
+	})
+	nAdv := 0
+	adv.ForEachSamplerEntry(func(set, pos int, tag uint16, conf int) {
+		nAdv++
+		if got := (sampVal{tag, conf}); wantSamp[sampKey{set, pos}] != got {
+			t.Fatalf("sampler set %d pos %d: inline %+v, advisor %+v", set, pos, wantSamp[sampKey{set, pos}], got)
+		}
+	})
+	if nInline != nAdv {
+		t.Fatalf("sampler entry count: inline %d, advisor %d", nInline, nAdv)
+	}
+	if err := adv.CheckState(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdvisorWritebacks pins the writeback contract: writeback events
+// carry no prediction and must leave advisor state completely untouched,
+// with misses advised as non-allocating (Bypass).
+func TestAdvisorWritebacks(t *testing.T) {
+	adv := NewAdvisor(64, SingleThreadParams())
+	a := cache.Access{PC: 0x400100, Addr: 0xabc40, Type: trace.Writeback}
+	if ad := adv.AdviseHit(a, 3); ad != (Advice{}) {
+		t.Fatalf("writeback hit advice = %+v, want zero", ad)
+	}
+	if ad := adv.AdviseMiss(a, 3, true); !ad.Bypass || ad.Conf != 0 {
+		t.Fatalf("writeback miss advice = %+v, want bare bypass", ad)
+	}
+	if s := adv.Stats(); s != (PolicyStats{}) {
+		t.Fatalf("writebacks moved counters: %v", s)
+	}
+	nz := false
+	adv.Predictor().ForEachWeight(func(_, _ int, w int8) { nz = nz || w != 0 })
+	if nz {
+		t.Fatal("writebacks trained weights")
+	}
+}
+
+// TestAdvisorNoBypassWithFreeFrame pins the mayBypass contract: a fill
+// into a set with an invalid frame must never be advised as a bypass,
+// however dead the block looks.
+func TestAdvisorNoBypassWithFreeFrame(t *testing.T) {
+	params := SingleThreadParams()
+	params.SamplerSets = 16
+	adv := NewAdvisor(64, params)
+	gen := newTestGen(99)
+	var rec trace.Record
+	for i := 0; i < 100_000; i++ {
+		gen.Next(&rec)
+		a := cache.Access{PC: rec.PC, Addr: rec.Addr, Type: trace.Load}
+		if ad := adv.AdviseMiss(a, adv.SetFor(a.Block()), false); ad.Bypass {
+			t.Fatalf("event %d: bypass advised with mayBypass=false", i)
+		}
+	}
+	if adv.Bypasses != 0 {
+		t.Fatalf("bypass counter = %d with mayBypass always false", adv.Bypasses)
+	}
+}

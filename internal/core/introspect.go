@@ -81,16 +81,6 @@ type PolicyStats struct {
 	Placements [4]uint64
 }
 
-// Stats returns the policy's decision counters.
-func (m *MPPPB) Stats() PolicyStats {
-	return PolicyStats{
-		Bypasses:    m.Bypasses,
-		NoPromotes:  m.NoPromotes,
-		TrainEvents: m.TrainEvents,
-		Placements:  m.Placements,
-	}
-}
-
 // String renders the counters compactly.
 func (s PolicyStats) String() string {
 	return fmt.Sprintf("bypasses=%d no-promotes=%d trains=%d placements[mru,π1,π2,π3]=%v",

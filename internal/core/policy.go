@@ -107,14 +107,15 @@ func Table2Params() Params {
 
 // MPPPB is the multiperspective placement, promotion and bypass policy: a
 // cache.ReplacementPolicy for the LLC driven by the multiperspective
-// predictor.
+// predictor. The prediction/training engine lives in the embedded Advisor
+// (constructible and drivable on its own, e.g. by the serving layer);
+// MPPPB adds the default-policy victim search and the cache hook
+// protocol.
 type MPPPB struct {
-	params  Params
-	pred    *Predictor
-	sampler *sampler
-	mdpp    *policy.MDPP
-	srrip   *policy.SRRIP
-	ways    int
+	*Advisor
+	mdpp  *policy.MDPP
+	srrip *policy.SRRIP
+	ways  int
 
 	// Victim→Fill memo: the cache calls Victim and, unless it bypasses,
 	// Fill for the same access back-to-back with no predictor activity in
@@ -126,12 +127,6 @@ type MPPPB struct {
 	pendBlock uint64
 	pendPC    uint64
 	pendConf  int
-
-	// Stats.
-	Bypasses    uint64
-	NoPromotes  uint64
-	Placements  [4]uint64 // [0]=MRU, [1..3]=Pi index+1
-	TrainEvents uint64
 }
 
 // NewMPPPB builds the policy for an LLC geometry.
@@ -140,9 +135,7 @@ func NewMPPPB(sets, ways int, params Params) *MPPPB {
 		panic("core: MPPPB requires a feature set")
 	}
 	m := &MPPPB{
-		params:  params,
-		pred:    NewPredictor(params.Features, sets, max(1, params.Cores)),
-		sampler: newSampler(sets, params.SamplerSets, len(params.Features), params.Theta),
+		Advisor: NewAdvisor(sets, params),
 		ways:    ways,
 	}
 	switch params.Default {
@@ -156,13 +149,6 @@ func NewMPPPB(sets, ways int, params Params) *MPPPB {
 	return m
 }
 
-// Predictor exposes the underlying predictor (for accuracy probes).
-func (m *MPPPB) Predictor() *Predictor { return m.pred }
-
-// Params returns the policy's configuration. The verification layer uses
-// it to construct a lockstep reference predictor with identical geometry.
-func (m *MPPPB) Params() Params { return m.params }
-
 // MDPP returns the underlying MDPP default policy, or nil when the policy
 // runs over SRRIP. Exposed for the verification layer.
 func (m *MPPPB) MDPP() *policy.MDPP { return m.mdpp }
@@ -170,21 +156,6 @@ func (m *MPPPB) MDPP() *policy.MDPP { return m.mdpp }
 // SRRIP returns the underlying SRRIP default policy, or nil when the
 // policy runs over MDPP. Exposed for the verification layer.
 func (m *MPPPB) SRRIP() *policy.SRRIP { return m.srrip }
-
-// ForEachSamplerEntry visits every valid sampler entry with its sampler
-// set, LRU position, partial tag, and stored confidence. Exposed for the
-// verification layer's lockstep sampler comparison.
-func (m *MPPPB) ForEachSamplerEntry(fn func(set, pos int, tag uint16, conf int)) {
-	s := m.sampler
-	for set := 0; set < s.sets; set++ {
-		for w := 0; w < SamplerWays; w++ {
-			e := &s.entries[set*SamplerWays+w]
-			if e.valid {
-				fn(set, int(e.pos), e.tag, int(e.conf))
-			}
-		}
-	}
-}
 
 // CheckInvariants validates the policy's structural invariants: placement
 // and promotion positions within the default policy's position space,
@@ -204,10 +175,7 @@ func (m *MPPPB) CheckInvariants() error {
 	if m.params.PromotePos < 0 || m.params.PromotePos >= limit {
 		return fmt.Errorf("core: promotion position %d outside [0,%d)", m.params.PromotePos, limit)
 	}
-	if err := m.pred.checkWeights(); err != nil {
-		return err
-	}
-	return m.sampler.checkInvariants()
+	return m.CheckState()
 }
 
 // Name implements cache.ReplacementPolicy.
@@ -216,30 +184,6 @@ func (m *MPPPB) Name() string {
 		return "mpppb-mdpp"
 	}
 	return "mpppb-srrip"
-}
-
-// Predict implements the confidence interface used by the ROC probe.
-func (m *MPPPB) Predict(a cache.Access, set int, insert bool) int {
-	return m.pred.Confidence(a, set, insert)
-}
-
-// predictAndTrain computes the confidence for the access and, if the set is
-// sampled, performs the sampler access that trains the tables.
-func (m *MPPPB) predictAndTrain(a cache.Access, set int, insert bool) int {
-	in := m.pred.buildInput(a, set, insert)
-	conf := m.pred.computeIndices(in)
-	m.train(a, set, conf)
-	return conf
-}
-
-// train performs the sampler access that updates the weight tables, using
-// the index vector left in the predictor by its last prediction for this
-// same access.
-func (m *MPPPB) train(a cache.Access, set, conf int) {
-	if ss := m.sampler.sampledSet(set); ss >= 0 {
-		m.sampler.access(m.pred, ss, a.Block(), conf, m.pred.idx)
-		m.TrainEvents++
-	}
 }
 
 // Hit implements cache.ReplacementPolicy: predict, train, and decide
@@ -309,21 +253,6 @@ func (m *MPPPB) Fill(set, way int, a cache.Access) {
 		m.srrip.SetRRPV(set, way, uint8(pos))
 	}
 	m.pred.observe(a, set, true, true)
-}
-
-// placement maps a confidence value to a recency position per Section 3.6.
-// slot indexes the Placements statistic (0 = MRU).
-func (m *MPPPB) placement(conf int) (pos, slot int) {
-	switch {
-	case conf > m.params.Tau1:
-		return m.params.Pi[0], 1
-	case conf > m.params.Tau2:
-		return m.params.Pi[1], 2
-	case conf > m.params.Tau3:
-		return m.params.Pi[2], 3
-	default:
-		return 0, 0 // most-recently-used position
-	}
 }
 
 // Evict implements cache.ReplacementPolicy. Evictions carry no special

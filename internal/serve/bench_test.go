@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"testing"
+
+	"mpppb/internal/core"
+	"mpppb/internal/obs"
+)
+
+// BenchmarkServeAdvice measures the full serving path — wire encode,
+// loopback TCP, shard dispatch, advise, wire decode — in events per
+// second (reported as ns/op over one 4096-event batch).
+func BenchmarkServeAdvice(b *testing.B) {
+	const sets, ways, batch = 2048, 16, 4096
+	params := core.SingleThreadParams()
+	events := Annotate(newTestGen(7), batch, sets, ways, params)
+
+	srv, err := Start(Config{
+		Addr: "127.0.0.1:0", Sets: sets, Params: params,
+		Shards: 2, Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	var advice []core.Advice
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if advice, err = c.Advise(events, advice); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkApplyInline is the serving path's lower bound: the same batch
+// through the advisor with no wire or scheduling in between.
+func BenchmarkApplyInline(b *testing.B) {
+	const sets, ways, batch = 2048, 16, 4096
+	params := core.SingleThreadParams()
+	events := Annotate(newTestGen(7), batch, sets, ways, params)
+	adv := core.NewAdvisor(sets, params)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ev := range events {
+			Apply(adv, ev)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}

@@ -1,0 +1,48 @@
+package serve
+
+import "mpppb/internal/obs"
+
+// metrics is the server's observability surface, registered on an
+// obs.Registry (the process default unless the Config overrides it, which
+// tests do to get isolated exact counts).
+type metrics struct {
+	connections  *obs.Counter
+	clients      *obs.Gauge
+	batches      *obs.Counter
+	events       *obs.Counter
+	bypasses     *obs.Counter
+	promotes     *obs.Counter
+	protoErrors  *obs.Counter
+	checkEvents  *obs.Counter
+	divergences  *obs.Counter
+	batchSeconds *obs.Histogram
+}
+
+func newMetrics(r *obs.Registry) *metrics {
+	if r == nil {
+		r = obs.Default()
+	}
+	return &metrics{
+		connections: r.Counter("mpppb_serve_connections_total",
+			"Client connections accepted."),
+		clients: r.Gauge("mpppb_serve_active_clients",
+			"Client connections currently open."),
+		batches: r.Counter("mpppb_serve_batches_total",
+			"Event batches served."),
+		events: r.Counter("mpppb_serve_events_total",
+			"Access events advised."),
+		bypasses: r.Counter("mpppb_serve_bypass_advised_total",
+			"Miss events advised to bypass."),
+		promotes: r.Counter("mpppb_serve_promote_advised_total",
+			"Hit events advised to promote."),
+		protoErrors: r.Counter("mpppb_serve_protocol_errors_total",
+			"Connections dropped for malformed frames."),
+		checkEvents: r.Counter("mpppb_serve_check_events_total",
+			"Events shadowed by the reference advisor (-check)."),
+		divergences: r.Counter("mpppb_serve_check_divergences_total",
+			"Advice or state divergences the reference shadow caught."),
+		batchSeconds: r.Histogram("mpppb_serve_batch_seconds",
+			"Server-side batch service latency.",
+			[]float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1}),
+	}
+}

@@ -1,0 +1,70 @@
+package verify
+
+import (
+	"mpppb/internal/cache"
+	"mpppb/internal/core"
+	"mpppb/internal/trace"
+)
+
+// RefAdvisor is the reference reimplementation of core.Advisor: the same
+// from-scratch prediction/training engine the cache oracle runs in
+// lockstep with MPPPB, driven through the advice interface instead of
+// cache hooks. The serving layer's -check mode shadows every production
+// advisor with one of these, comparing advice event-for-event and full
+// predictor/sampler state periodically.
+type RefAdvisor struct {
+	e *refEngine
+}
+
+// NewRefAdvisor builds a reference advisor modeling an LLC with the given
+// number of sets, mirroring core.NewAdvisor's geometry.
+func NewRefAdvisor(sets int, params core.Params) *RefAdvisor {
+	return &RefAdvisor{e: newRefEngine(params, sets)}
+}
+
+// AdviseHit mirrors core.Advisor.AdviseHit decision-for-decision,
+// including the writeback no-op contract.
+func (r *RefAdvisor) AdviseHit(a cache.Access, set int) core.Advice {
+	if a.Type == trace.Writeback {
+		return core.Advice{}
+	}
+	e := r.e
+	conf := e.predict(a, set, false)
+	e.train(a, set, conf)
+	adv := core.Advice{Conf: int16(conf)}
+	if conf <= e.params.Tau4 {
+		adv.Promote = true
+		adv.Pos = int8(e.params.PromotePos)
+	}
+	e.observe(a, set, false, true)
+	return adv
+}
+
+// AdviseMiss mirrors core.Advisor.AdviseMiss decision-for-decision,
+// including the mayBypass and writeback contracts.
+func (r *RefAdvisor) AdviseMiss(a cache.Access, set int, mayBypass bool) core.Advice {
+	if a.Type == trace.Writeback {
+		return core.Advice{Bypass: true}
+	}
+	e := r.e
+	conf := e.predict(a, set, true)
+	e.train(a, set, conf)
+	if mayBypass && e.params.BypassEnabled && conf > e.params.Tau0 {
+		e.observe(a, set, true, false)
+		return core.Advice{Conf: int16(conf), Bypass: true}
+	}
+	pos, slot := e.placement(conf)
+	e.observe(a, set, true, true)
+	return core.Advice{Conf: int16(conf), Pos: int8(pos), Slot: uint8(slot)}
+}
+
+// CompareState checks a production advisor's complete predictor and
+// sampler state against the reference — every weight and every sampler
+// entry, in both directions — plus the production advisor's own
+// structural invariants. It returns the first divergence found, or nil.
+func (r *RefAdvisor) CompareState(adv *core.Advisor) error {
+	if err := r.e.diffState(adv); err != nil {
+		return err
+	}
+	return adv.CheckState()
+}

@@ -23,25 +23,9 @@ import (
 // structural invariant checks.
 type mpppbOracle struct {
 	baseOracle
+	*refEngine
 	k *Checker
 	m *core.MPPPB
-
-	params core.Params
-	feats  []core.Feature
-
-	// Reference predictor state.
-	weights   [][]int8
-	hist      [][]uint64 // per core, MRU-first recent PCs, length MaxW
-	lastMiss  []bool
-	lastBlock []uint64
-	haveBlock []bool
-	idx       []uint16 // index vector of the latest reference prediction
-
-	// Reference sampler: per sampled set, MRU-first entries (position ==
-	// slice index).
-	sampSets int
-	spacing  int
-	samp     [][]refSampEntry
 
 	// Reference default-policy state (exactly one is non-nil).
 	tree *refTree
@@ -67,8 +51,32 @@ type refSampEntry struct {
 	idx  []uint16
 }
 
-func newMPPPBOracle(k *Checker, m *core.MPPPB, sets, ways int) *mpppbOracle {
-	params := m.Params()
+// refEngine is the reference reimplementation of the prediction/training
+// engine (core.Advisor): the predictor via the Feature.Index path over
+// explicit history arrays and per-feature weight slices, and the sampler
+// as an MRU-first ordered list per sampled set. It is shared by the
+// lockstep cache oracle (mpppbOracle) and the serving-path shadow
+// (RefAdvisor).
+type refEngine struct {
+	params core.Params
+	feats  []core.Feature
+
+	// Reference predictor state.
+	weights   [][]int8
+	hist      [][]uint64 // per core, MRU-first recent PCs, length MaxW
+	lastMiss  []bool
+	lastBlock []uint64
+	haveBlock []bool
+	idx       []uint16 // index vector of the latest reference prediction
+
+	// Reference sampler: per sampled set, MRU-first entries (position ==
+	// slice index).
+	sampSets int
+	spacing  int
+	samp     [][]refSampEntry
+}
+
+func newRefEngine(params core.Params, sets int) *refEngine {
 	cores := params.Cores
 	if cores < 1 {
 		cores = 1
@@ -77,9 +85,7 @@ func newMPPPBOracle(k *Checker, m *core.MPPPB, sets, ways int) *mpppbOracle {
 	if sampSets > sets {
 		sampSets = sets
 	}
-	o := &mpppbOracle{
-		k:         k,
-		m:         m,
+	e := &refEngine{
 		params:    params,
 		feats:     params.Features,
 		weights:   make([][]int8, len(params.Features)),
@@ -91,13 +97,23 @@ func newMPPPBOracle(k *Checker, m *core.MPPPB, sets, ways int) *mpppbOracle {
 		sampSets:  sampSets,
 		spacing:   sets / sampSets,
 		samp:      make([][]refSampEntry, sampSets),
+	}
+	for i, f := range e.feats {
+		e.weights[i] = make([]int8, f.TableSize())
+	}
+	for c := range e.hist {
+		e.hist[c] = make([]uint64, core.MaxW)
+	}
+	return e
+}
+
+func newMPPPBOracle(k *Checker, m *core.MPPPB, sets, ways int) *mpppbOracle {
+	params := m.Params()
+	o := &mpppbOracle{
+		refEngine: newRefEngine(params, sets),
+		k:         k,
+		m:         m,
 		ways:      ways,
-	}
-	for i, f := range o.feats {
-		o.weights[i] = make([]int8, f.TableSize())
-	}
-	for c := range o.hist {
-		o.hist[c] = make([]uint64, core.MaxW)
 	}
 	if params.Default == core.DefaultMDPP {
 		o.tree = newRefTree(sets, ways)
@@ -119,30 +135,30 @@ func refTag(block uint64) uint16 {
 	return uint16((block * 0x9e3779b97f4a7c15) >> 48)
 }
 
-func (o *mpppbOracle) coreOf(a cache.Access) int {
+func (e *refEngine) coreOf(a cache.Access) int {
 	c := a.Core
-	if c < 0 || c >= len(o.hist) {
+	if c < 0 || c >= len(e.hist) {
 		c = 0
 	}
 	return c
 }
 
 // predict computes the reference confidence for an access, leaving the
-// per-feature index vector in o.idx.
-func (o *mpppbOracle) predict(a cache.Access, set int, insert bool) int {
+// per-feature index vector in e.idx.
+func (e *refEngine) predict(a cache.Access, set int, insert bool) int {
 	var in core.Input
 	in.PC = a.PC
 	in.Addr = a.Addr
 	in.Insert = insert
-	in.LastMiss = o.lastMiss[set]
-	in.Burst = !insert && o.haveBlock[set] && o.lastBlock[set] == a.Block()
+	in.LastMiss = e.lastMiss[set]
+	in.Burst = !insert && e.haveBlock[set] && e.lastBlock[set] == a.Block()
 	in.History[0] = a.PC
-	copy(in.History[1:], o.hist[o.coreOf(a)])
+	copy(in.History[1:], e.hist[e.coreOf(a)])
 	sum := 0
-	for i, f := range o.feats {
+	for i, f := range e.feats {
 		ix := f.Index(&in)
-		o.idx[i] = uint16(ix)
-		sum += int(o.weights[i][ix])
+		e.idx[i] = uint16(ix)
+		sum += int(e.weights[i][ix])
 	}
 	if sum < core.ConfMin {
 		sum = core.ConfMin
@@ -154,20 +170,20 @@ func (o *mpppbOracle) predict(a cache.Access, set int, insert bool) int {
 }
 
 // observe mirrors the predictor's post-access state update.
-func (o *mpppbOracle) observe(a cache.Access, set int, miss, resident bool) {
-	o.lastMiss[set] = miss
+func (e *refEngine) observe(a cache.Access, set int, miss, resident bool) {
+	e.lastMiss[set] = miss
 	if resident {
-		o.lastBlock[set] = a.Block()
-		o.haveBlock[set] = true
+		e.lastBlock[set] = a.Block()
+		e.haveBlock[set] = true
 	}
-	h := o.hist[o.coreOf(a)]
+	h := e.hist[e.coreOf(a)]
 	copy(h[1:], h[:len(h)-1])
 	h[0] = a.PC
 }
 
 // bump adjusts one reference weight with saturating arithmetic.
-func (o *mpppbOracle) bump(feature int, ix uint16, up bool) {
-	w := &o.weights[feature][ix]
+func (e *refEngine) bump(feature int, ix uint16, up bool) {
+	w := &e.weights[feature][ix]
 	if up {
 		if *w < core.WeightMax {
 			*w++
@@ -178,24 +194,24 @@ func (o *mpppbOracle) bump(feature int, ix uint16, up bool) {
 }
 
 // train performs the reference sampler access for a set, if sampled, using
-// the index vector left in o.idx by the latest reference prediction.
-func (o *mpppbOracle) train(a cache.Access, set, conf int) {
-	if set%o.spacing != 0 {
+// the index vector left in e.idx by the latest reference prediction.
+func (e *refEngine) train(a cache.Access, set, conf int) {
+	if set%e.spacing != 0 {
 		return
 	}
-	ss := set / o.spacing
-	if ss >= o.sampSets {
+	ss := set / e.spacing
+	if ss >= e.sampSets {
 		return
 	}
-	o.samplerAccess(ss, a.Block(), conf)
+	e.samplerAccess(ss, a.Block(), conf)
 }
 
 // samplerAccess replays one sampler access on the MRU-first list: reuse
 // trains live for features reaching the hit position, demotions landing on
 // a feature's A parameter train dead, and the list order is the LRU stack.
-func (o *mpppbOracle) samplerAccess(ss int, block uint64, conf int) {
+func (e *refEngine) samplerAccess(ss int, block uint64, conf int) {
 	tag := refTag(block)
-	list := o.samp[ss]
+	list := e.samp[ss]
 	hit := -1
 	for j := range list {
 		if list[j].tag == tag {
@@ -205,11 +221,11 @@ func (o *mpppbOracle) samplerAccess(ss int, block uint64, conf int) {
 	}
 
 	if hit >= 0 {
-		e := list[hit]
-		if e.conf > -o.params.Theta {
-			for i, f := range o.feats {
+		ent := list[hit]
+		if ent.conf > -e.params.Theta {
+			for i, f := range e.feats {
 				if hit < f.A {
-					o.bump(i, e.idx[i], false)
+					e.bump(i, ent.idx[i], false)
 				}
 			}
 		}
@@ -217,54 +233,55 @@ func (o *mpppbOracle) samplerAccess(ss int, block uint64, conf int) {
 		// exactly on a feature's A parameter is an eviction from that
 		// feature's virtual cache.
 		for pos := 0; pos < hit; pos++ {
-			o.trainDemoted(list[pos], pos+1)
+			e.trainDemoted(list[pos], pos+1)
 		}
 		copy(list[1:hit+1], list[:hit])
-		e.conf = conf
-		e.idx = append([]uint16(nil), o.idx...)
-		list[0] = e
+		ent.conf = conf
+		ent.idx = append([]uint16(nil), e.idx...)
+		list[0] = ent
 		return
 	}
 
 	// Miss: every resident entry demotes by one; the entry leaving the last
 	// position is evicted after its demotion trains.
 	for pos := range list {
-		o.trainDemoted(list[pos], pos+1)
+		e.trainDemoted(list[pos], pos+1)
 	}
 	if len(list) == core.SamplerWays {
 		list = list[:len(list)-1]
 	}
 	list = append(list, refSampEntry{})
 	copy(list[1:], list[:len(list)-1])
-	list[0] = refSampEntry{tag: tag, conf: conf, idx: append([]uint16(nil), o.idx...)}
-	o.samp[ss] = list
+	list[0] = refSampEntry{tag: tag, conf: conf, idx: append([]uint16(nil), e.idx...)}
+	e.samp[ss] = list
 }
 
 // trainDemoted trains dead for features whose A parameter equals the
 // demoted entry's new position, unless the entry is already confidently
 // dead.
-func (o *mpppbOracle) trainDemoted(e refSampEntry, newPos int) {
-	if e.conf >= o.params.Theta {
+func (e *refEngine) trainDemoted(ent refSampEntry, newPos int) {
+	if ent.conf >= e.params.Theta {
 		return
 	}
-	for i, f := range o.feats {
+	for i, f := range e.feats {
 		if f.A == newPos {
-			o.bump(i, e.idx[i], true)
+			e.bump(i, ent.idx[i], true)
 		}
 	}
 }
 
-// placement maps a confidence to a recency position (Section 3.6).
-func (o *mpppbOracle) placement(conf int) int {
+// placement maps a confidence to a recency position per Section 3.6; slot
+// indexes the placement statistic (0 = MRU), mirroring core.Advisor.
+func (e *refEngine) placement(conf int) (pos, slot int) {
 	switch {
-	case conf > o.params.Tau1:
-		return o.params.Pi[0]
-	case conf > o.params.Tau2:
-		return o.params.Pi[1]
-	case conf > o.params.Tau3:
-		return o.params.Pi[2]
+	case conf > e.params.Tau1:
+		return e.params.Pi[0], 1
+	case conf > e.params.Tau2:
+		return e.params.Pi[1], 2
+	case conf > e.params.Tau3:
+		return e.params.Pi[2], 3
 	default:
-		return 0
+		return 0, 0
 	}
 }
 
@@ -390,7 +407,8 @@ func (o *mpppbOracle) preFill(set, way int, a cache.Access) {
 	o.compareConf(a, set, true, conf)
 	o.pendValid = false
 	o.train(a, set, conf)
-	o.place(set, way, o.placement(conf))
+	pos, _ := o.placement(conf)
+	o.place(set, way, pos)
 	o.observe(a, set, true, true)
 }
 
@@ -405,50 +423,65 @@ func (o *mpppbOracle) dumpDefault(set int) string {
 	return fmt.Sprintf("  reference rrpv: %v", o.rrpv[set])
 }
 
-// sweep compares complete state: every weight, every sampler entry, every
-// set's default-policy state, plus the production policy's own structural
-// invariants.
-func (o *mpppbOracle) sweep() {
+// diffState compares the reference engine's complete prediction/training
+// state — every weight and every sampler entry, in both directions —
+// against a production advisor's, returning a description of the first
+// mismatch or nil. Shared by the cache oracle's periodic sweep and the
+// serving-path shadow (RefAdvisor.CompareState).
+func (e *refEngine) diffState(adv *core.Advisor) error {
 	// Weight tables.
-	reported := false
-	o.m.Predictor().ForEachWeight(func(feature, index int, w int8) {
-		if reported {
+	var firstErr error
+	adv.Predictor().ForEachWeight(func(feature, index int, w int8) {
+		if firstErr != nil {
 			return
 		}
-		if ref := o.weights[feature][index]; ref != w {
-			reported = true
-			o.k.failf("", "mpppb: weight table %d (%v) index %d: production %d, reference %d",
-				feature, o.feats[feature], index, w, ref)
+		if ref := e.weights[feature][index]; ref != w {
+			firstErr = fmt.Errorf("mpppb: weight table %d (%v) index %d: production %d, reference %d",
+				feature, e.feats[feature], index, w, ref)
 		}
 	})
+	if firstErr != nil {
+		return firstErr
+	}
 
 	// Sampler contents: production entries keyed by (set, position) must
 	// match the reference list exactly, in both directions.
 	prodCount := 0
-	mismatch := false
-	o.m.ForEachSamplerEntry(func(set, pos int, tag uint16, conf int) {
+	adv.ForEachSamplerEntry(func(set, pos int, tag uint16, conf int) {
 		prodCount++
-		if mismatch {
+		if firstErr != nil {
 			return
 		}
-		if set >= len(o.samp) || pos >= len(o.samp[set]) {
-			mismatch = true
-			o.k.failf("", "mpppb: production sampler entry (set %d, pos %d) absent from reference", set, pos)
+		if set >= len(e.samp) || pos >= len(e.samp[set]) {
+			firstErr = fmt.Errorf("mpppb: production sampler entry (set %d, pos %d) absent from reference", set, pos)
 			return
 		}
-		e := o.samp[set][pos]
-		if e.tag != tag || e.conf != conf {
-			mismatch = true
-			o.k.failf("", "mpppb: sampler set %d pos %d: production tag %#x conf %d, reference tag %#x conf %d",
-				set, pos, tag, conf, e.tag, e.conf)
+		ent := e.samp[set][pos]
+		if ent.tag != tag || ent.conf != conf {
+			firstErr = fmt.Errorf("mpppb: sampler set %d pos %d: production tag %#x conf %d, reference tag %#x conf %d",
+				set, pos, tag, conf, ent.tag, ent.conf)
 		}
 	})
+	if firstErr != nil {
+		return firstErr
+	}
 	refCount := 0
-	for _, list := range o.samp {
+	for _, list := range e.samp {
 		refCount += len(list)
 	}
-	if !mismatch && prodCount != refCount {
-		o.k.failf("", "mpppb: production sampler holds %d entries, reference %d", prodCount, refCount)
+	if prodCount != refCount {
+		return fmt.Errorf("mpppb: production sampler holds %d entries, reference %d", prodCount, refCount)
+	}
+	return nil
+}
+
+// sweep compares complete state: every weight, every sampler entry, every
+// set's default-policy state, plus the production policy's own structural
+// invariants.
+func (o *mpppbOracle) sweep() {
+	// Weight tables and sampler contents, via the shared engine diff.
+	if err := o.diffState(o.m.Advisor); err != nil {
+		o.k.failf("", "%v", err)
 	}
 
 	// Default-policy recency state of every set.
