@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-hotpath bench-record experiments results resume-smoke watch-smoke serve-smoke cover fuzz clean
+.PHONY: all build test vet race bench bench-hotpath bench-record bench-regress experiments results resume-smoke watch-smoke serve-smoke check-smoke cover fuzz clean
 
 all: build test
 
@@ -32,6 +32,7 @@ bench:
 # segment. See docs/PERFORMANCE.md.
 bench-hotpath:
 	$(GO) test -run NONE -bench 'BenchmarkPredictorConfidence|BenchmarkLLCAccess' -benchmem -benchtime 2s ./internal/core
+	$(GO) test -run NONE -bench 'BenchmarkCacheLookup|BenchmarkVictimScan' -benchmem -benchtime 2s ./internal/cache
 	$(GO) test -run NONE -bench BenchmarkGeneratorBatch -benchmem -benchtime 2s ./internal/workload
 	$(GO) test -run NONE -bench 'BenchmarkServeAdvice|BenchmarkApplyInline' -benchmem -benchtime 2s ./internal/serve
 	$(GO) test -run NONE -bench BenchmarkEndToEndFig6Segment -benchmem -benchtime 1x .
@@ -39,6 +40,11 @@ bench-hotpath:
 # Record a throughput trajectory point as BENCH_<n>.json.
 bench-record:
 	scripts/bench.sh
+
+# Advisory regression gate: throwaway trajectory point vs the newest
+# checked-in BENCH_*.json (see scripts/bench_regress.sh).
+bench-regress:
+	scripts/bench_regress.sh
 
 # Full experiment campaign: TSV per figure/table into results/.
 # Raise -warmup/-measure/-mixes for tighter numbers (slower).
@@ -62,6 +68,12 @@ watch-smoke:
 # scripts/serve_smoke.sh).
 serve-smoke:
 	scripts/serve_smoke.sh
+
+# Differential-oracle smoke: a small fig6 segment with the lockstep
+# verification layer armed (-check); divergence aborts with the access
+# index and a set-level dump (see scripts/check_smoke.sh).
+check-smoke:
+	scripts/check_smoke.sh
 
 # Coverage gate: per-package report plus a total-% floor
 # (see scripts/cover.sh; override with COVER_BASELINE=<pct>).

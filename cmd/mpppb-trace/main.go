@@ -159,6 +159,9 @@ func main() {
 
 	case *replay != "":
 		recs, hash := loadHashed(*replay)
+		// Transpose once; every per-policy replay cursor shares the same
+		// read-only column store.
+		cols := trace.ColumnsOf(recs)
 		cfg := sim.SingleThreadConfig()
 		cfg.Warmup, cfg.Measure = *warmup, *measure
 		cfg.Check = *check
@@ -215,7 +218,7 @@ func main() {
 				return replayRes{}, err
 			}
 			t0 := time.Now()
-			gen := trace.NewReplayGenerator(*replay, recs)
+			gen := trace.NewColumnarReplay(*replay, cols)
 			res := sim.RunSingle(cfg, gen, pf)
 			rr = replayRes{Res: res, Wraps: gen.Wraps}
 			status.CellDone(key, obs.CellOK, time.Since(t0))

@@ -43,16 +43,28 @@ func (a Access) Offset() uint64 { return a.Addr & (trace.BlockSize - 1) }
 // IsDemand reports whether the access is a demand load or store.
 func (a Access) IsDemand() bool { return a.Type == trace.Load || a.Type == trace.Store }
 
-// blockFrame is one cache frame. It stores the full block address rather
-// than a tag: sets are indexed by low block-address bits, so the full
-// address doubles as the tag with no loss.
-type blockFrame struct {
-	addr       uint64 // full block address
-	readyAt    uint64 // cycle at which the block's data arrives
-	valid      bool
-	dirty      bool
-	prefetched bool // filled by a prefetch and not yet demand-referenced
-}
+// Frame storage is struct-of-arrays: the per-frame fields live in parallel
+// slices (addrs, readyAts, flags), row-major by set, rather than in an
+// array of frame structs. The way scan in Lookup/access then streams over a
+// contiguous lane of 8-byte block addresses — ways*8 bytes per set, two
+// cache lines for a 16-way LLC — instead of striding 24-byte structs, and
+// the three booleans pack into one byte per frame.
+//
+// Invalid frames additionally hold the sentinel noBlock in the address
+// lane, so a tag-lane comparison can never match a stale address; flags
+// remain the authority on validity.
+
+// noBlock is the address-lane value of an invalid frame. Real block
+// addresses are byte addresses shifted right by trace.BlockBits, so the
+// all-ones value is unreachable.
+const noBlock = ^uint64(0)
+
+// Per-frame flag bits, packed one byte per frame.
+const (
+	frameValid      uint8 = 1 << 0
+	frameDirty      uint8 = 1 << 1
+	framePrefetched uint8 = 1 << 2
+)
 
 // ReplacementPolicy receives lookup outcomes and chooses victims for one
 // cache. Implementations are constructed for a specific geometry (number of
@@ -134,9 +146,12 @@ type Cache struct {
 	sets    int
 	ways    int
 	setMask uint64
-	frames  []blockFrame // sets*ways, row-major by set
-	policy  ReplacementPolicy
-	obs     Observer
+	// Struct-of-arrays frame storage, sets*ways each, row-major by set.
+	addrs    []uint64 // block-address (tag) lane; noBlock when invalid
+	readyAts []uint64 // data-arrival cycles
+	flags    []uint8  // frameValid | frameDirty | framePrefetched
+	policy   ReplacementPolicy
+	obs      Observer
 
 	// Stats accumulates event counts; callers may read or reset it
 	// between measurement phases.
@@ -153,14 +168,20 @@ func New(name string, sets, ways int, policy ReplacementPolicy) *Cache {
 	if sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cache %s: sets %d is not a power of two", name, sets))
 	}
-	return &Cache{
-		name:    name,
-		sets:    sets,
-		ways:    ways,
-		setMask: uint64(sets - 1),
-		frames:  make([]blockFrame, sets*ways),
-		policy:  policy,
+	c := &Cache{
+		name:     name,
+		sets:     sets,
+		ways:     ways,
+		setMask:  uint64(sets - 1),
+		addrs:    make([]uint64, sets*ways),
+		readyAts: make([]uint64, sets*ways),
+		flags:    make([]uint8, sets*ways),
+		policy:   policy,
 	}
+	for i := range c.addrs {
+		c.addrs[i] = noBlock
+	}
+	return c
 }
 
 // NewBySize constructs a cache from a total size in bytes and associativity.
@@ -199,15 +220,14 @@ func (c *Cache) SetPolicy(p ReplacementPolicy) { c.policy = p }
 // SetIndex returns the set index for a block address.
 func (c *Cache) SetIndex(blockAddr uint64) int { return int(blockAddr & c.setMask) }
 
-func (c *Cache) frame(set, way int) *blockFrame { return &c.frames[set*c.ways+way] }
-
 // Lookup probes the cache without changing any state. It returns the way
 // holding the block, or -1 on a miss.
 func (c *Cache) Lookup(blockAddr uint64) (set, way int) {
 	set = c.SetIndex(blockAddr)
-	for w := 0; w < c.ways; w++ {
-		f := c.frame(set, w)
-		if f.valid && f.addr == blockAddr {
+	base := set * c.ways
+	// Invalid frames hold noBlock in the tag lane, so a match implies valid.
+	for w, a := range c.addrs[base : base+c.ways] {
+		if a == blockAddr {
 			return set, w
 		}
 	}
@@ -223,13 +243,18 @@ func (c *Cache) Contains(blockAddr uint64) bool {
 // BlockAddrAt returns the block address stored in (set, way) and whether
 // the frame is valid.
 func (c *Cache) BlockAddrAt(set, way int) (uint64, bool) {
-	f := c.frame(set, way)
-	return f.addr, f.valid
+	i := set*c.ways + way
+	if c.flags[i]&frameValid == 0 {
+		return 0, false
+	}
+	return c.addrs[i], true
 }
 
 // IsPrefetchedAt reports whether the block in (set, way) was installed by a
 // prefetch and has not yet been demand-referenced.
-func (c *Cache) IsPrefetchedAt(set, way int) bool { return c.frame(set, way).prefetched }
+func (c *Cache) IsPrefetchedAt(set, way int) bool {
+	return c.flags[set*c.ways+way]&framePrefetched != 0
+}
 
 // Access performs a full lookup-and-fill. On a miss the block is installed
 // (unless the policy bypasses it); the caller is responsible for propagating
@@ -252,6 +277,7 @@ func (c *Cache) Access(a Access) Result {
 func (c *Cache) access(a Access) Result {
 	blockAddr := a.Block()
 	set := c.SetIndex(blockAddr)
+	base := set * c.ways
 
 	c.Stats.Accesses++
 	demand := a.IsDemand()
@@ -261,21 +287,23 @@ func (c *Cache) access(a Access) Result {
 		c.Stats.PrefetchAccesses++
 	}
 
-	// Probe.
-	for w := 0; w < c.ways; w++ {
-		f := c.frame(set, w)
-		if f.valid && f.addr == blockAddr {
-			c.Stats.Hits++
-			if demand {
-				c.Stats.DemandHits++
-				f.prefetched = false
-			}
-			if a.Type == trace.Store || a.Type == trace.Writeback {
-				f.dirty = true
-			}
-			c.policy.Hit(set, w, a)
-			return Result{Hit: true, Set: set, Way: w, ReadyAt: f.readyAt}
+	// Probe: one pass over the set's contiguous tag lane. Invalid frames
+	// hold noBlock, so a match implies a valid frame.
+	for w, fa := range c.addrs[base : base+c.ways] {
+		if fa != blockAddr {
+			continue
 		}
+		i := base + w
+		c.Stats.Hits++
+		if demand {
+			c.Stats.DemandHits++
+			c.flags[i] &^= framePrefetched
+		}
+		if a.Type == trace.Store || a.Type == trace.Writeback {
+			c.flags[i] |= frameDirty
+		}
+		c.policy.Hit(set, w, a)
+		return Result{Hit: true, Set: set, Way: w, ReadyAt: c.readyAts[i]}
 	}
 
 	// Miss.
@@ -299,10 +327,12 @@ func (c *Cache) access(a Access) Result {
 
 // fill installs blockAddr into set, choosing a victim as needed.
 func (c *Cache) fill(set int, blockAddr uint64, a Access) Result {
+	base := set * c.ways
+
 	// Prefer an invalid frame.
 	way := -1
 	for w := 0; w < c.ways; w++ {
-		if !c.frame(set, w).valid {
+		if c.flags[base+w]&frameValid == 0 {
 			way = w
 			break
 		}
@@ -321,26 +351,29 @@ func (c *Cache) fill(set int, blockAddr uint64, a Access) Result {
 				c.name, c.policy.Name(), victim, c.ways))
 		}
 		way = victim
-		f := c.frame(set, way)
+		i := base + way
 		c.Stats.Evictions++
-		if f.dirty {
+		if c.flags[i]&frameDirty != 0 {
 			c.Stats.Writebacks++
 			res.EvictedDirty = true
 		}
 		res.EvictedValid = true
-		res.EvictedAddr = f.addr
-		c.policy.Evict(set, way, f.addr)
+		res.EvictedAddr = c.addrs[i]
+		c.policy.Evict(set, way, c.addrs[i])
 	}
 
-	f := c.frame(set, way)
-	f.addr = blockAddr
-	f.valid = true
-	f.readyAt = a.Now
-	f.dirty = a.Type == trace.Store
-	f.prefetched = a.Type == trace.Prefetch
+	i := base + way
+	c.addrs[i] = blockAddr
+	c.readyAts[i] = a.Now
+	fl := frameValid
+	if a.Type == trace.Store {
+		fl |= frameDirty
+	}
 	if a.Type == trace.Prefetch {
+		fl |= framePrefetched
 		c.Stats.PrefetchFills++
 	}
+	c.flags[i] = fl
 	res.Way = way
 	c.policy.Fill(set, way, a)
 	return res
@@ -351,12 +384,11 @@ func (c *Cache) fill(set int, blockAddr uint64, a Access) Result {
 func (c *Cache) Invalidate(blockAddr uint64) (present, dirty bool) {
 	set, way := c.Lookup(blockAddr)
 	if way >= 0 {
-		f := c.frame(set, way)
-		present, dirty = true, f.dirty
-		c.policy.Evict(set, way, f.addr)
-		f.valid = false
-		f.dirty = false
-		f.prefetched = false
+		i := set*c.ways + way
+		present, dirty = true, c.flags[i]&frameDirty != 0
+		c.policy.Evict(set, way, c.addrs[i])
+		c.addrs[i] = noBlock
+		c.flags[i] = 0
 	}
 	if c.obs != nil {
 		c.obs.OnInvalidate(blockAddr, present)
@@ -366,38 +398,44 @@ func (c *Cache) Invalidate(blockAddr uint64) (present, dirty bool) {
 
 // DumpSet renders the frames of one set for divergence diagnostics.
 func (c *Cache) DumpSet(set int) string {
+	base := set * c.ways
 	s := fmt.Sprintf("%s set %d:", c.name, set)
 	for w := 0; w < c.ways; w++ {
-		f := c.frame(set, w)
-		if !f.valid {
+		i := base + w
+		if c.flags[i]&frameValid == 0 {
 			s += fmt.Sprintf(" [%d: -]", w)
 			continue
 		}
 		flags := ""
-		if f.dirty {
+		if c.flags[i]&frameDirty != 0 {
 			flags += "D"
 		}
-		if f.prefetched {
+		if c.flags[i]&framePrefetched != 0 {
 			flags += "P"
 		}
-		s += fmt.Sprintf(" [%d: %#x %s]", w, f.addr, flags)
+		s += fmt.Sprintf(" [%d: %#x %s]", w, c.addrs[i], flags)
 	}
 	return s
 }
 
 // assertSetWellFormed panics if a set holds two valid frames with the same
-// block address. Compiled in only under the verify build tag.
+// block address, or an invalid frame whose tag lane is not the noBlock
+// sentinel (which would let a stale tag match). Compiled in only under the
+// verify build tag.
 func (c *Cache) assertSetWellFormed(set int) {
+	base := set * c.ways
 	for w := 0; w < c.ways; w++ {
-		f := c.frame(set, w)
-		if !f.valid {
+		if c.flags[base+w]&frameValid == 0 {
+			if c.addrs[base+w] != noBlock {
+				panic(fmt.Sprintf("cache %s: invalid frame %d of set %d holds tag %#x instead of the empty sentinel",
+					c.name, w, set, c.addrs[base+w]))
+			}
 			continue
 		}
 		for w2 := w + 1; w2 < c.ways; w2++ {
-			g := c.frame(set, w2)
-			if g.valid && g.addr == f.addr {
+			if c.flags[base+w2]&frameValid != 0 && c.addrs[base+w2] == c.addrs[base+w] {
 				panic(fmt.Sprintf("cache %s: duplicate block %#x in ways %d and %d of %s",
-					c.name, f.addr, w, w2, c.DumpSet(set)))
+					c.name, c.addrs[base+w], w, w2, c.DumpSet(set)))
 			}
 		}
 	}
@@ -405,16 +443,18 @@ func (c *Cache) assertSetWellFormed(set int) {
 
 // SetReadyAt records the cycle at which the data for the block in
 // (set, way) arrives; accesses before then pay the remaining latency.
-func (c *Cache) SetReadyAt(set, way int, cycle uint64) { c.frame(set, way).readyAt = cycle }
+func (c *Cache) SetReadyAt(set, way int, cycle uint64) { c.readyAts[set*c.ways+way] = cycle }
 
 // ReadyAt returns the data-arrival cycle for (set, way).
-func (c *Cache) ReadyAt(set, way int) uint64 { return c.frame(set, way).readyAt }
+func (c *Cache) ReadyAt(set, way int) uint64 { return c.readyAts[set*c.ways+way] }
 
 // Reset invalidates all blocks and zeroes statistics. The replacement
 // policy's state is not reset; construct a fresh policy for a fresh cache.
 func (c *Cache) Reset() {
-	for i := range c.frames {
-		c.frames[i] = blockFrame{}
+	for i := range c.addrs {
+		c.addrs[i] = noBlock
+		c.readyAts[i] = 0
+		c.flags[i] = 0
 	}
 	c.Stats = Stats{}
 }

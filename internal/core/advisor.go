@@ -64,7 +64,7 @@ func NewAdvisor(sets int, params Params) *Advisor {
 		params:  params,
 		sets:    sets,
 		pred:    NewPredictor(params.Features, sets, max(1, params.Cores)),
-		sampler: newSampler(sets, params.SamplerSets, len(params.Features), params.Theta),
+		sampler: newSampler(sets, params.SamplerSets, params.Features, params.Theta),
 	}
 }
 
@@ -90,10 +90,11 @@ func (v *Advisor) Predict(a cache.Access, set int, insert bool) int {
 }
 
 // predictAndTrain computes the confidence for the access and, if the set is
-// sampled, performs the sampler access that trains the tables.
+// sampled, performs the sampler access that trains the tables. Only that
+// training reads the index vector, so unsampled sets predict without the
+// per-feature idx store.
 func (v *Advisor) predictAndTrain(a cache.Access, set int, insert bool) int {
-	in := v.pred.buildInput(a, set, insert)
-	conf := v.pred.computeIndices(in)
+	conf := v.pred.predict(a, set, insert, v.sampler.sampledSet(set) >= 0)
 	v.train(a, set, conf)
 	return conf
 }
@@ -155,8 +156,7 @@ func (v *Advisor) AdviseMiss(a cache.Access, set int, mayBypass bool) Advice {
 	if a.Type == trace.Writeback {
 		return Advice{Bypass: true}
 	}
-	in := v.pred.buildInput(a, set, true)
-	conf := v.pred.computeIndices(in)
+	conf := v.pred.predict(a, set, true, v.sampler.sampledSet(set) >= 0)
 	v.train(a, set, conf)
 	if mayBypass && v.params.BypassEnabled && conf > v.params.Tau0 {
 		v.Bypasses++

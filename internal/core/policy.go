@@ -209,7 +209,9 @@ func (m *MPPPB) Hit(set, way int, a cache.Access) {
 // Victim implements cache.ReplacementPolicy: decide bypass, else delegate
 // victim selection to the default policy.
 func (m *MPPPB) Victim(set int, a cache.Access) (int, bool) {
-	conf := m.pred.Confidence(a, set, true)
+	// The index vector is consumed by train — immediately on bypass, or at
+	// Fill through the memo — and only for sampled sets.
+	conf := m.pred.predict(a, set, true, m.sampler.sampledSet(set) >= 0)
 	if m.params.BypassEnabled && conf > m.params.Tau0 {
 		// Bypassed: Fill will not run, so train and update state here. The
 		// Confidence call above already computed this access's indices.

@@ -20,6 +20,22 @@ const (
 	ConfMax = 255
 )
 
+// setMeta is the per-LLC-set predictor metadata: the most recently used
+// block (burst feature) plus the lastmiss and have-block bits, packed into
+// one flags byte. The three fields are always read together, so keeping
+// them in one 16-byte record costs one cache line per prediction where
+// three parallel slices cost three.
+type setMeta struct {
+	lastBlock uint64
+	flags     uint8
+}
+
+// setMeta flag bits.
+const (
+	setLastMiss  uint8 = 1 << 0
+	setHaveBlock uint8 = 1 << 1
+)
+
 // Predictor is the multiperspective reuse predictor: one weight table per
 // feature, per-core PC history, and per-set metadata feeding the burst and
 // lastmiss features.
@@ -30,10 +46,12 @@ const (
 // no per-access parameter derivation and no history copying.
 type Predictor struct {
 	features []Feature
-	kernels  []kernel
-	weights  []int8   // all weight tables, concatenated in feature order
-	tables   [][]int8 // per-feature views into weights (introspection, state I/O)
-	masks    []uint32 // index mask per table
+	kernels  []kernel     // reference-shaped compiled form (scalar path, tests)
+	fast     []fastKernel // branch-light form driving the SWAR hot path
+	histOffs []uint32     // distinct history ring offsets backing srcs[srcHist+j]
+	weights  []int8       // all weight tables, concatenated in feature order
+	tables   [][]int8     // per-feature views into weights (introspection, state I/O)
+	masks    []uint32     // index mask per table
 
 	// hist[core] is a ring of recent memory-access PCs (not including the
 	// access currently being predicted); heads[core] indexes the most
@@ -41,15 +59,24 @@ type Predictor struct {
 	hist  [][histRingLen]uint64
 	heads []uint32
 
-	// Per-LLC-set metadata.
-	lastMiss  []bool   // "requires keeping a single extra bit for every set"
-	lastBlock []uint64 // most recently used block, for the burst feature
-	haveBlock []bool
+	// Per-LLC-set metadata, one record per set so a prediction touches a
+	// single cache line of it (buildInput reads the lastmiss bit, the
+	// have-block bit, and the last block address together on every call).
+	setMeta []setMeta
 
 	// scratch reused across calls: the assembled input, the per-feature
-	// index vector, and the requesting core's ring resolved by buildInput.
+	// index vector, the SWAR weight-staging vector, and the requesting
+	// core's ring resolved by buildInput.
+	//
+	// lanes holds the gathered (biased) weight bytes of the most recent
+	// computeIndices call, eight per word. Like idx, it survives between
+	// calls, which is what lets MPPPB's Victim→Fill memo reuse the whole
+	// gathered state of a prediction — confidence, index vector, and lane
+	// vector — without recomputing any of it on the Fill side.
 	in      Input
 	idx     []uint16
+	lanes   [laneWords]uint64
+	srcs    []uint64 // per-prediction source vector for the fast kernels
 	curHist *[histRingLen]uint64
 	curHead uint32
 }
@@ -68,12 +95,10 @@ func NewPredictor(features []Feature, llcSets, cores int) *Predictor {
 		kernels:   make([]kernel, len(features)),
 		tables:    make([][]int8, len(features)),
 		masks:     make([]uint32, len(features)),
-		hist:      make([][histRingLen]uint64, cores),
-		heads:     make([]uint32, cores),
-		lastMiss:  make([]bool, llcSets),
-		lastBlock: make([]uint64, llcSets),
-		haveBlock: make([]bool, llcSets),
-		idx:       make([]uint16, len(features)),
+		hist:    make([][histRingLen]uint64, cores),
+		heads:   make([]uint32, cores),
+		setMeta: make([]setMeta, llcSets),
+		idx:     make([]uint16, len(features)),
 	}
 	total := 0
 	for _, f := range features {
@@ -91,6 +116,8 @@ func NewPredictor(features []Feature, llcSets, cores int) *Predictor {
 		p.kernels[i] = compileKernel(f, uint32(base))
 		base += sz
 	}
+	p.fast, p.histOffs = compileFastKernels(features)
+	p.srcs = make([]uint64, srcHist+len(p.histOffs))
 	p.curHist = &p.hist[0]
 	return p
 }
@@ -117,8 +144,9 @@ func (p *Predictor) buildInput(a cache.Access, set int, insert bool) *Input {
 	in.PC = accessPC(a)
 	in.Addr = a.Addr
 	in.Insert = insert
-	in.LastMiss = p.lastMiss[set]
-	in.Burst = !insert && p.haveBlock[set] && p.lastBlock[set] == a.Block()
+	m := &p.setMeta[set]
+	in.LastMiss = m.flags&setLastMiss != 0
+	in.Burst = !insert && m.flags&setHaveBlock != 0 && m.lastBlock == a.Block()
 	core := a.Core
 	if core < 0 || core >= len(p.hist) {
 		core = 0
@@ -129,8 +157,181 @@ func (p *Predictor) buildInput(a cache.Access, set int, insert bool) *Input {
 }
 
 // computeIndices fills p.idx with each feature's table index for the input
-// and returns the summed, clamped confidence.
+// and returns the summed, clamped confidence. The weights are gathered
+// into p.lanes as biased bytes and reduced bit-parallel (see kernel.go);
+// the biasing makes the reduction exactly the reference scalar sum, which
+// TestComputeIndicesMatchesScalarSum pins on random table contents.
+//
+// The loop runs over the branch-light fastKernel form (kernel.go): the
+// per-prediction source vector is filled once — PC, address, the three
+// boolean raws, and each distinct history depth read from the ring one
+// time — and every feature is then the same straight-line
+// select/shift/mask/xor expression with no per-kind dispatch.
+// TestKernelMatchesReferenceIndex and the scalar-equivalence tests pin
+// both compiled forms to the reference Feature.Index.
 func (p *Predictor) computeIndices(in *Input) int {
+	nf := len(p.fast)
+	if nf > laneWords*8 {
+		return p.computeIndicesScalar(in)
+	}
+	hist, head := p.curHist, p.curHead
+
+	// Per-prediction source vector. srcs[srcZero] stays 0.
+	srcs := p.srcs
+	pc := in.PC
+	srcs[srcPC] = pc
+	srcs[srcAddr] = in.Addr
+	srcs[srcBurst] = b2u(in.Burst)
+	srcs[srcInsert] = b2u(in.Insert)
+	srcs[srcLastMiss] = b2u(in.LastMiss)
+	for j, off := range p.histOffs {
+		srcs[srcHist+j] = hist[(head+off)&histRingMask]
+	}
+	return p.gather(pc >> 2)
+}
+
+// predict is the fused hot-path prediction: it assembles the source vector
+// straight from the access — no Input struct round-trip through memory, no
+// separate buildInput call — and runs the gather. Confidence and the
+// advisor's decision paths route through it; buildInput+computeIndices
+// remain as the two-step form the scalar fallback and the tests exercise.
+//
+// needIdx selects whether the per-feature index vector is left in p.idx.
+// Only sampler training reads it, and callers know before predicting
+// whether the set is sampled, so the vast majority of predictions (every
+// access to an unsampled set) skip the per-feature store entirely.
+// Callers that predict with needIdx=false MUST NOT train from p.idx
+// afterwards. The confidence is identical either way
+// (TestComputeIndicesMatchesScalarSum checks both variants).
+func (p *Predictor) predict(a cache.Access, set int, insert bool, needIdx bool) int {
+	if len(p.fast) > laneWords*8 {
+		return p.computeIndicesScalar(p.buildInput(a, set, insert))
+	}
+	core := a.Core
+	if core < 0 || core >= len(p.hist) {
+		core = 0
+	}
+	hist, head := &p.hist[core], p.heads[core]
+	pc := accessPC(a)
+	m := &p.setMeta[set]
+	srcs := p.srcs
+	srcs[srcPC] = pc
+	srcs[srcAddr] = a.Addr
+	srcs[srcBurst] = b2u(!insert && m.flags&setHaveBlock != 0 && m.lastBlock == a.Block())
+	srcs[srcInsert] = b2u(insert)
+	srcs[srcLastMiss] = b2u(m.flags&setLastMiss != 0)
+	for j, off := range p.histOffs {
+		srcs[srcHist+j] = hist[(head+off)&histRingMask]
+	}
+	if needIdx {
+		return p.gather(pc >> 2)
+	}
+	return p.gatherConf(pc >> 2)
+}
+
+// gather runs the compiled index/weight walk over the already-filled source
+// vector: per feature, the fastKernel select/shift/mask/fold, the idx store,
+// and the biased weight byte ORed into its staging lane; then the SWAR
+// reduction.
+func (p *Predictor) gather(pcMix uint64) int {
+	nf := len(p.fast)
+	kernels := p.fast
+	idx := p.idx
+	weights := p.weights
+	srcs := p.srcs
+
+	words := (nf + 7) / 8
+	i := 0
+	for w := 0; w < words; w++ {
+		// One lane word gathers up to eight features; the word accumulates
+		// in a register and is stored once.
+		var lane uint64
+		end := i + 8
+		if end > nf {
+			end = nf
+		}
+		for sh := uint(0); i < end; i, sh = i+1, sh+8 {
+			k := &kernels[i]
+			raw := (srcs[k.src] >> k.shift) & k.wmask
+			raw ^= pcMix & k.xmask
+			var ix uint32
+			switch k.fold {
+			case foldNone:
+				ix = uint32(raw)
+			case fold88:
+				ix = fold8(raw)
+			default:
+				if raw>>k.bits == 0 {
+					ix = uint32(raw)
+				} else {
+					ix = foldTo(raw, int(k.bits))
+				}
+			}
+			ix &= k.mask
+			idx[i] = uint16(ix)
+			lane |= uint64(uint8(weights[k.base+ix])^weightBias) << sh
+		}
+		p.lanes[w] = lane
+	}
+	return clampConf(sumLanes(&p.lanes, words) - weightBias*nf)
+}
+
+// gatherConf is gather without the idx store, for predictions on unsampled
+// sets where no training will read the index vector. The loop body is
+// otherwise identical — any change here must be mirrored in gather (the
+// scalar-equivalence tests cover both).
+func (p *Predictor) gatherConf(pcMix uint64) int {
+	nf := len(p.fast)
+	kernels := p.fast
+	weights := p.weights
+	srcs := p.srcs
+
+	words := (nf + 7) / 8
+	i := 0
+	for w := 0; w < words; w++ {
+		var lane uint64
+		end := i + 8
+		if end > nf {
+			end = nf
+		}
+		for sh := uint(0); i < end; i, sh = i+1, sh+8 {
+			k := &kernels[i]
+			raw := (srcs[k.src] >> k.shift) & k.wmask
+			raw ^= pcMix & k.xmask
+			var ix uint32
+			switch k.fold {
+			case foldNone:
+				ix = uint32(raw)
+			case fold88:
+				ix = fold8(raw)
+			default:
+				if raw>>k.bits == 0 {
+					ix = uint32(raw)
+				} else {
+					ix = foldTo(raw, int(k.bits))
+				}
+			}
+			ix &= k.mask
+			lane |= uint64(uint8(weights[k.base+ix])^weightBias) << sh
+		}
+		p.lanes[w] = lane
+	}
+	return clampConf(sumLanes(&p.lanes, words) - weightBias*nf)
+}
+
+// b2u converts a bool to its 0/1 raw feature value.
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// computeIndicesScalar is the reference summation: the loop-carried scalar
+// add over per-feature weights. It remains the fallback for feature sets
+// too large for the staging vector and the oracle the SWAR path is tested
+// against.
+func (p *Predictor) computeIndicesScalar(in *Input) int {
 	sum := 0
 	hist, head := p.curHist, p.curHead
 	for i := range p.kernels {
@@ -151,17 +352,22 @@ func (p *Predictor) historyPC(core, w int) uint64 {
 // Confidence computes the prediction for an access without updating any
 // state. Higher values mean the block is more confidently predicted dead.
 func (p *Predictor) Confidence(a cache.Access, set int, insert bool) int {
-	return p.computeIndices(p.buildInput(a, set, insert))
+	return p.predict(a, set, insert, true)
 }
 
 // observe updates per-set and per-core state after an access has been
 // predicted and (if sampled) trained. resident reports whether the block
 // is in the cache after the access (false for bypasses).
 func (p *Predictor) observe(a cache.Access, set int, miss, resident bool) {
-	p.lastMiss[set] = miss
+	m := &p.setMeta[set]
+	if miss {
+		m.flags |= setLastMiss
+	} else {
+		m.flags &^= setLastMiss
+	}
 	if resident {
-		p.lastBlock[set] = a.Block()
-		p.haveBlock[set] = true
+		m.lastBlock = a.Block()
+		m.flags |= setHaveBlock
 	}
 	core := a.Core
 	if core < 0 || core >= len(p.hist) {
@@ -231,6 +437,6 @@ func (p *Predictor) SizeBits() int {
 	for _, t := range p.tables {
 		bits += len(t) * 6
 	}
-	bits += len(p.lastMiss) // one lastmiss bit per set
+	bits += len(p.setMeta) // one lastmiss bit per set
 	return bits
 }

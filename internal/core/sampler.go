@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // The sampler (Section 3.3): a small number of LLC sets are designated as
 // sampled; each has a corresponding 18-way, true-LRU-managed set of partial
@@ -43,6 +46,21 @@ type sampler struct {
 	entries []samplerEntry
 	idx     []uint16
 
+	// sampledOf maps every LLC set to its sampler set (-1 if unsampled):
+	// the hot-path form of sampledSetSlow, computed once at construction.
+	sampledOf []int16
+
+	// Per-position feature masks, precomputed from the feature set's A
+	// parameters so the training loops need not scan the feature slice.
+	// liveMask[p] has bit i set when feature i's virtual associativity
+	// reaches position p (p < A[i]: the block is live for that feature);
+	// boundaryMask[p] has bit i set when A[i] == p (a demotion to p is an
+	// eviction from feature i's virtual cache). Most demotions land on a
+	// position that is no feature's boundary, making trainDemoted a single
+	// mask test.
+	liveMask     [SamplerWays + 1]uint64
+	boundaryMask [SamplerWays + 1]uint64
+
 	// theta is the perceptron training threshold: tables train only when
 	// the stored confidence was below theta in magnitude (or mispredicted),
 	// following the hashed-perceptron heritage of the predictor.
@@ -51,26 +69,58 @@ type sampler struct {
 
 // newSampler builds a sampler covering llcSets with the requested number of
 // sampled sets (clamped to llcSets).
-func newSampler(llcSets, samplerSets, numFeatures, theta int) *sampler {
+func newSampler(llcSets, samplerSets int, features []Feature, theta int) *sampler {
 	if samplerSets > llcSets {
 		samplerSets = llcSets
 	}
 	if samplerSets <= 0 {
 		panic("core: non-positive sampler size")
 	}
-	return &sampler{
+	if samplerSets > 1<<15-1 {
+		panic("core: sampler size exceeds the int16 set map")
+	}
+	if len(features) > 64 {
+		// The per-position masks hold one bit per feature; no shipped set
+		// comes close to the limit (the paper's sets have 16).
+		panic("core: sampler supports at most 64 features")
+	}
+	s := &sampler{
 		sets:    samplerSets,
-		nf:      numFeatures,
+		nf:      len(features),
 		spacing: llcSets / samplerSets,
 		entries: make([]samplerEntry, samplerSets*SamplerWays),
-		idx:     make([]uint16, samplerSets*SamplerWays*numFeatures),
+		idx:     make([]uint16, samplerSets*SamplerWays*len(features)),
 		theta:   theta,
 	}
+	// sampledSet runs on every LLC access; precompute the set→sampler-set
+	// map so the hot path is one table load instead of two divisions.
+	s.sampledOf = make([]int16, llcSets)
+	for set := 0; set < llcSets; set++ {
+		s.sampledOf[set] = int16(s.sampledSetSlow(set))
+	}
+	for i, f := range features {
+		for p := 0; p <= SamplerWays; p++ {
+			if p < f.A {
+				s.liveMask[p] |= 1 << uint(i)
+			}
+			if p == f.A {
+				s.boundaryMask[p] |= 1 << uint(i)
+			}
+		}
+	}
+	return s
 }
 
 // sampledSet maps an LLC set to its sampler set, or -1 if not sampled.
-// Sampled sets are spread evenly through the cache.
+// Hot-path form: one table load (llcSet always comes from SetFor-style
+// masking, so it is in range).
 func (s *sampler) sampledSet(llcSet int) int {
+	return int(s.sampledOf[llcSet])
+}
+
+// sampledSetSlow is the arithmetic definition sampledOf is built from:
+// sampled sets are spread evenly through the cache, every spacing-th set.
+func (s *sampler) sampledSetSlow(llcSet int) int {
 	if llcSet%s.spacing != 0 {
 		return -1
 	}
@@ -119,13 +169,14 @@ func (s *sampler) access(p *Predictor, set int, block uint64, conf int, curIdx [
 		// Training on reuse: for each feature whose virtual associativity
 		// reaches the block's position, the block was live; decrement the
 		// stored index's weight unless the stored confidence was already
-		// confidently live (perceptron thresholding).
+		// confidently live (perceptron thresholding). The live features
+		// for a position are a precomputed bitmask; the loop visits only
+		// their set bits.
 		eIdx := s.entryIdx(set, hitWay)
 		if int(e.conf) > -s.theta {
-			for i, f := range p.features {
-				if p0 < f.A {
-					p.bump(i, eIdx[i], false)
-				}
+			for m := s.liveMask[p0]; m != 0; m &= m - 1 {
+				i := bits.TrailingZeros64(m)
+				p.bump(i, eIdx[i], false)
 			}
 		}
 
@@ -181,17 +232,22 @@ func (s *sampler) access(p *Predictor, set int, block uint64, conf int, curIdx [
 
 // trainDemoted trains "dead" for every feature whose A parameter equals the
 // demoted block's new position, using the block's stored index vector,
-// subject to the training threshold.
+// subject to the training threshold. The boundary features for a position
+// are a precomputed bitmask — most demotions land on a position that is no
+// feature's boundary and cost one mask test.
 func (s *sampler) trainDemoted(p *Predictor, set, way, newPos int) {
+	m := s.boundaryMask[newPos]
+	if m == 0 {
+		return
+	}
 	d := &s.entries[set*SamplerWays+way]
 	if int(d.conf) >= s.theta {
 		return // already confidently dead; avoid weight saturation churn
 	}
 	dIdx := s.entryIdx(set, way)
-	for i, f := range p.features {
-		if f.A == newPos {
-			p.bump(i, dIdx[i], true)
-		}
+	for ; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		p.bump(i, dIdx[i], true)
 	}
 }
 

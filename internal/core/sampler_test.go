@@ -14,7 +14,7 @@ func testPredictor(t *testing.T, feats []Feature) *Predictor {
 }
 
 func TestSamplerMapping(t *testing.T) {
-	s := newSampler(2048, 64, 1, 40)
+	s := newSampler(2048, 64, []Feature{{Kind: KindBias, A: 9}}, 40)
 	if s.spacing != 32 {
 		t.Fatalf("spacing = %d", s.spacing)
 	}
@@ -28,7 +28,7 @@ func TestSamplerMapping(t *testing.T) {
 		t.Fatalf("set 33 -> %d, want unsampled", got)
 	}
 	// Spacing of 1 when the cache is small.
-	small := newSampler(16, 64, 1, 40)
+	small := newSampler(16, 64, []Feature{{Kind: KindBias, A: 9}}, 40)
 	if small.sets != 16 || small.spacing != 1 {
 		t.Fatalf("small sampler: %d sets spacing %d", small.sets, small.spacing)
 	}
@@ -37,7 +37,7 @@ func TestSamplerMapping(t *testing.T) {
 func TestSamplerLRUPositionsStayDistinct(t *testing.T) {
 	feats := []Feature{{Kind: KindBias, A: 9}}
 	p := testPredictor(t, feats)
-	s := newSampler(64, 4, 1, 40)
+	s := newSampler(64, 4, feats, 40)
 	idx := []uint16{0}
 	// Touch many distinct blocks, with periodic re-touches.
 	for i := 0; i < 500; i++ {
@@ -72,7 +72,7 @@ func TestSamplerTrainsDeadAtFeatureBoundary(t *testing.T) {
 	// the (single) weight upward.
 	feats := []Feature{{Kind: KindBias, A: 2}}
 	p := testPredictor(t, feats)
-	s := newSampler(64, 4, 1, 40)
+	s := newSampler(64, 4, feats, 40)
 	idx := []uint16{0}
 
 	// Insert three distinct blocks: inserting the third demotes the first
@@ -91,7 +91,7 @@ func TestSamplerTrainsDeadAtFeatureBoundary(t *testing.T) {
 func TestSamplerTrainsLiveOnReuseWithinA(t *testing.T) {
 	feats := []Feature{{Kind: KindBias, A: 4}}
 	p := testPredictor(t, feats)
-	s := newSampler(64, 4, 1, 40)
+	s := newSampler(64, 4, feats, 40)
 	idx := []uint16{0}
 
 	s.access(p, 0, 100, 0, idx)
@@ -106,7 +106,7 @@ func TestSamplerNoLiveTrainingBeyondA(t *testing.T) {
 	// A=1: any reuse at position >= 1 must not train live.
 	feats := []Feature{{Kind: KindBias, A: 1}}
 	p := testPredictor(t, feats)
-	s := newSampler(64, 4, 1, 40)
+	s := newSampler(64, 4, feats, 40)
 	idx := []uint16{0}
 
 	s.access(p, 0, 100, 0, idx)
@@ -124,7 +124,7 @@ func TestSamplerNoLiveTrainingBeyondA(t *testing.T) {
 func TestSamplerEvictionTrainsMaxAFeatures(t *testing.T) {
 	feats := []Feature{{Kind: KindBias, A: SamplerWays}}
 	p := testPredictor(t, feats)
-	s := newSampler(64, 4, 1, 40)
+	s := newSampler(64, 4, feats, 40)
 	idx := []uint16{0}
 
 	// Fill all 18 ways plus one more: the LRU entry is evicted, crossing
@@ -146,7 +146,7 @@ func TestSamplerThresholdStopsTraining(t *testing.T) {
 	// further demotions do not push the weight.
 	feats := []Feature{{Kind: KindBias, A: 2}}
 	p := testPredictor(t, feats)
-	s := newSampler(64, 4, 1, 2)
+	s := newSampler(64, 4, feats, 2)
 	idx := []uint16{0}
 
 	// Store confidence 100 (>= theta) for block 100.
@@ -166,7 +166,7 @@ func TestSamplerStoresIndexVector(t *testing.T) {
 		{Kind: KindPC, A: 2, B: 0, E: 20, W: 0},
 	}
 	p := testPredictor(t, feats)
-	s := newSampler(64, 4, 2, 40)
+	s := newSampler(64, 4, feats, 40)
 
 	// Insert block 100 with index 7 in both features.
 	s.access(p, 0, 100, 0, []uint16{7, 7})
@@ -198,7 +198,7 @@ func TestSamplerAliasedTagsShareEntry(t *testing.T) {
 	}
 	feats := []Feature{{Kind: KindBias, A: 4}}
 	p := testPredictor(t, feats)
-	s := newSampler(64, 4, 1, 40)
+	s := newSampler(64, 4, feats, 40)
 	idx := []uint16{0}
 	s.access(p, 0, a, 0, idx)
 	s.access(p, 0, b, 0, idx) // same tag: treated as a reuse of the entry
@@ -209,7 +209,7 @@ func TestSamplerAliasedTagsShareEntry(t *testing.T) {
 
 func TestSizeBitsAccounting(t *testing.T) {
 	p := NewPredictor(SingleThreadSetB(), 2048, 1)
-	s := newSampler(2048, DefaultSamplerSets, len(SingleThreadSetB()), 40)
+	s := newSampler(2048, DefaultSamplerSets, SingleThreadSetB(), 40)
 	idxBits := p.TotalIndexBits()
 	// Section 4.4: 16-feature single-thread sets store ~93-118 index bits.
 	if idxBits < 80 || idxBits > 130 {
@@ -237,7 +237,7 @@ func TestMPPPBSizeBits(t *testing.T) {
 func TestTwoRoundTrainingBound(t *testing.T) {
 	feats := SingleThreadSetB()
 	p := testPredictor(t, feats)
-	s := newSampler(64, 8, len(feats), 1000) // huge theta: always train
+	s := newSampler(64, 8, feats, 1000) // huge theta: always train
 	idx := make([]uint16, len(feats))
 
 	snapshot := func() [][]int8 {

@@ -21,6 +21,20 @@ type TreePLRU struct {
 	// node i has children 2i and 2i+1; bit value 1 means "victim is in
 	// the right subtree".
 	bits []uint32
+
+	// touch[way<<levels | mask] holds the precomputed effect of
+	// TouchMasked(way, mask): which node bits to set (point right, away
+	// from a block in the left subtree) and which to clear. The touched
+	// nodes and their away-directions depend only on (way, mask), so the
+	// per-level path walk runs once per combination at construction and
+	// the per-access update is two boolean ops on the set's word.
+	touch []touchEffect
+}
+
+// touchEffect is one precomputed TouchMasked update: bits to set and clear.
+type touchEffect struct {
+	set uint32
+	clr uint32
 }
 
 // NewTreePLRU constructs tree PLRU state. ways must be a power of two.
@@ -32,7 +46,26 @@ func NewTreePLRU(sets, ways int) *TreePLRU {
 	for 1<<levels < ways {
 		levels++
 	}
-	return &TreePLRU{ways: ways, levels: levels, bits: make([]uint32, sets)}
+	t := &TreePLRU{ways: ways, levels: levels, bits: make([]uint32, sets)}
+	t.touch = make([]touchEffect, ways<<uint(levels))
+	for way := 0; way < ways; way++ {
+		for mask := 0; mask < 1<<uint(levels); mask++ {
+			var e touchEffect
+			for l := 0; l < levels; l++ {
+				if mask&(1<<uint(l)) == 0 {
+					continue
+				}
+				n := t.node(way, l)
+				if 1-t.directionAt(way, l) == 1 {
+					e.set |= 1 << uint(n)
+				} else {
+					e.clr |= 1 << uint(n)
+				}
+			}
+			t.touch[way<<uint(levels)|mask] = e
+		}
+	}
+	return t
 }
 
 // Levels returns the tree depth (log2 of the associativity).
@@ -66,20 +99,8 @@ func (t *TreePLRU) directionAt(way, l int) uint32 {
 // away from the block; unmasked levels are left undisturbed. A full touch
 // (classic PLRU promotion) is TouchMasked with all mask bits set.
 func (t *TreePLRU) TouchMasked(set, way int, mask uint32) {
-	b := t.bits[set]
-	for l := 0; l < t.levels; l++ {
-		if mask&(1<<uint(l)) == 0 {
-			continue
-		}
-		n := t.node(way, l)
-		away := 1 - t.directionAt(way, l) // point at the other subtree
-		if away == 1 {
-			b |= 1 << uint(n)
-		} else {
-			b &^= 1 << uint(n)
-		}
-	}
-	t.bits[set] = b
+	e := &t.touch[way<<uint(t.levels)|int(mask&uint32(1<<uint(t.levels)-1))]
+	t.bits[set] = t.bits[set]&^e.clr | e.set
 }
 
 // FullMask returns the mask that touches every level.
@@ -128,6 +149,9 @@ var _ cache.ReplacementPolicy = (*TreePLRU)(nil)
 // half of all evictions.
 type MDPP struct {
 	tree *TreePLRU
+	// posMask[pos] caches maskFor(pos) for the in-range positions, so the
+	// per-access PlaceAt/PromoteAt skip the bit-reversal loop.
+	posMask []uint32
 	// PlacePos is the recency position used for newly inserted blocks.
 	PlacePos int
 	// PromotePos is the recency position used on hits.
@@ -145,11 +169,16 @@ const (
 
 // NewMDPP constructs static MDPP for the geometry with default positions.
 func NewMDPP(sets, ways int) *MDPP {
-	return &MDPP{
+	m := &MDPP{
 		tree:       NewTreePLRU(sets, ways),
 		PlacePos:   DefaultMDPPPlacePos,
 		PromotePos: DefaultMDPPPromotePos,
 	}
+	m.posMask = make([]uint32, ways)
+	for pos := range m.posMask {
+		m.posMask[pos] = m.maskFor(pos)
+	}
+	return m
 }
 
 // Positions returns the number of distinct recency positions (== ways).
@@ -176,10 +205,19 @@ func (m *MDPP) maskFor(pos int) uint32 {
 
 // PlaceAt inserts (set, way) at an explicit recency position. Exposed for
 // MPPPB, which maps predictor confidence to placement positions π1..π3.
-func (m *MDPP) PlaceAt(set, way, pos int) { m.tree.TouchMasked(set, way, m.maskFor(pos)) }
+func (m *MDPP) PlaceAt(set, way, pos int) { m.tree.TouchMasked(set, way, m.mask(pos)) }
 
 // PromoteAt promotes (set, way) to an explicit recency position.
-func (m *MDPP) PromoteAt(set, way, pos int) { m.tree.TouchMasked(set, way, m.maskFor(pos)) }
+func (m *MDPP) PromoteAt(set, way, pos int) { m.tree.TouchMasked(set, way, m.mask(pos)) }
+
+// mask returns the cached touch mask for a position, computing it only for
+// out-of-range positions.
+func (m *MDPP) mask(pos int) uint32 {
+	if uint(pos) < uint(len(m.posMask)) {
+		return m.posMask[pos]
+	}
+	return m.maskFor(pos)
+}
 
 // VictimWay exposes the underlying PLRU victim choice.
 func (m *MDPP) VictimWay(set int) int { return m.tree.VictimWay(set) }

@@ -1,0 +1,31 @@
+package serve
+
+import (
+	"testing"
+
+	"mpppb/internal/core"
+)
+
+// TestAdviseLoopDoesNotAllocate extends the zero-alloc steady-state guard
+// internal/core pins on the inline policy to the serving hot path: the
+// per-event advise loop the shard workers run (Apply: Event → Access →
+// AdviseHit/AdviseMiss) must not touch the heap once the advisor is warm.
+// Connection setup, batch framing, and the advice append are the batch
+// layer's amortized costs and are excluded — this is the loop that runs
+// once per event.
+func TestAdviseLoopDoesNotAllocate(t *testing.T) {
+	const sets, ways, batch = 2048, 16, 4096
+	params := core.SingleThreadParams()
+	events := Annotate(newTestGen(7), batch, sets, ways, params)
+	adv := core.NewAdvisor(sets, params)
+	for _, ev := range events {
+		Apply(adv, ev)
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(5000, func() {
+		Apply(adv, events[i%batch])
+		i++
+	}); avg != 0 {
+		t.Fatalf("serve advise loop allocates %v times per event", avg)
+	}
+}

@@ -30,6 +30,7 @@ func BenchmarkServeAdvice(b *testing.B) {
 	defer c.Close()
 
 	var advice []core.Advice
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if advice, err = c.Advise(events, advice); err != nil {
@@ -47,6 +48,7 @@ func BenchmarkApplyInline(b *testing.B) {
 	params := core.SingleThreadParams()
 	events := Annotate(newTestGen(7), batch, sets, ways, params)
 	adv := core.NewAdvisor(sets, params)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, ev := range events {

@@ -50,7 +50,7 @@ func RunMulti(cfg Config, mix workload.Mix, pf PolicyFactory) MultiResult {
 	var hs [4]*cache.Hierarchy
 	var cores [4]*cpu.Core
 	for i := 0; i < 4; i++ {
-		rds[i] = &batchReader{gen: workload.NewGenerator(mix[i], workload.CoreBase(i))}
+		rds[i] = newBatchReader(workload.NewGenerator(mix[i], workload.CoreBase(i)))
 		hs[i] = buildHierarchy(cfg, i, llc)
 		cores[i] = cpu.New(cfg.CPU)
 	}

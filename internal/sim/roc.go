@@ -120,7 +120,7 @@ func RunROC(cfg Config, gen trace.Generator, cf ConfidenceFactory) []stats.ROCSa
 	checks := attachChecks(cfg, llc, h)
 
 	gen.Reset()
-	rd := &batchReader{gen: gen}
+	rd := newBatchReader(gen)
 	// As in RunFastMPKI, the instruction clock is monotonic across the
 	// warmup→measure boundary; only the loop bound resets.
 	endWarmup := startPhase(mWarmupPhases)

@@ -174,10 +174,34 @@ const simBatchSize = 256
 // per-record interface call. The cursor persists across warmup/measure
 // phase boundaries, so the delivered stream is exactly the generator's
 // per-record stream.
+//
+// Column-major sources (trace.ColumnBatcher, e.g. ColumnarReplay) refill
+// through per-column bulk copies into cols instead of materializing
+// row-major records; next assembles the handed-out record from the column
+// elements. Either way the stream is identical to repeated Next calls.
 type batchReader struct {
 	gen    trace.Generator
+	cb     trace.ColumnBatcher // non-nil when gen refills columnar
 	n, pos int
 	buf    [simBatchSize]trace.Record
+	cols   trace.Columns // column buffers backing the cb path
+	rec    trace.Record  // assembly slot handed out by the cb path
+}
+
+// newBatchReader builds a cursor over gen, selecting the columnar refill
+// path when the generator supports it.
+func newBatchReader(gen trace.Generator) *batchReader {
+	r := &batchReader{gen: gen}
+	if cb, ok := gen.(trace.ColumnBatcher); ok {
+		r.cb = cb
+		r.cols = trace.Columns{
+			PCs:    make([]uint64, simBatchSize),
+			Addrs:  make([]uint64, simBatchSize),
+			Writes: make([]bool, simBatchSize),
+			NonMem: make([]uint16, simBatchSize),
+		}
+	}
+	return r
 }
 
 // next returns the next record; the pointer is valid until the following
@@ -189,11 +213,24 @@ type batchReader struct {
 // — never as corrupted statistics.
 func (r *batchReader) next() *trace.Record {
 	if r.pos >= r.n {
-		r.n = trace.FillBatch(r.gen, r.buf[:])
+		if r.cb != nil {
+			r.n = r.cb.NextColumns(&r.cols, simBatchSize)
+		} else {
+			r.n = trace.FillBatch(r.gen, r.buf[:])
+		}
 		if r.n == 0 {
 			panic(fmt.Sprintf("sim: generator %q exhausted mid-run (FillBatch returned 0); the run needs more records than the source holds", r.gen.Name()))
 		}
 		r.pos = 0
+	}
+	if r.cb != nil {
+		rec := &r.rec
+		rec.PC = r.cols.PCs[r.pos]
+		rec.Addr = r.cols.Addrs[r.pos]
+		rec.IsWrite = r.cols.Writes[r.pos]
+		rec.NonMem = r.cols.NonMem[r.pos]
+		r.pos++
+		return rec
 	}
 	rec := &r.buf[r.pos]
 	r.pos++
@@ -254,7 +291,7 @@ func RunSingle(cfg Config, gen trace.Generator, pf PolicyFactory) Result {
 	core := cpu.New(cfg.CPU)
 
 	gen.Reset()
-	rd := &batchReader{gen: gen}
+	rd := newBatchReader(gen)
 	runPhase := func(limit uint64) {
 		var done uint64
 		for done < limit {
@@ -310,7 +347,7 @@ func RunFastMPKI(cfg Config, gen trace.Generator, pf PolicyFactory) Result {
 	checks := attachChecks(cfg, llc, h)
 
 	gen.Reset()
-	rd := &batchReader{gen: gen}
+	rd := newBatchReader(gen)
 	endWarmup := startPhase(mWarmupPhases)
 	var now, instr uint64
 	for instr < cfg.Warmup {

@@ -199,9 +199,11 @@ func ReadTrace(r io.Reader) ([]TraceRecord, error) { return trace.ReadAll(r) }
 
 // RunTrace replays captured records through the single-thread machine
 // under the named policy. The replay wraps around when the run needs more
-// instructions than the trace holds.
+// instructions than the trace holds. Internally the records are transposed
+// once into column-major form so the simulator's batch cursor refills by
+// bulk column copies.
 func RunTrace(cfg Config, name string, recs []TraceRecord, policyName string) (Result, error) {
-	gen := trace.NewReplayGenerator(name, recs)
+	gen := trace.NewColumnarReplay(name, trace.ColumnsOf(recs))
 	if policyName == "min" {
 		_, res := sim.RunSingleMIN(cfg, gen)
 		return res, nil

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Differential-oracle smoke over the layout-optimized kernels: run a small
+# fig6 segment with -check, which arms the lockstep verification layer
+# (internal/verify) on every cache — each access is replayed through a
+# naive reference model, and any divergence in hit/miss, victim choice, or
+# frame state aborts with the access index and a set-level dump. The
+# policy list deliberately covers the hot rewrites: the always-run lru
+# baseline and mpppb stream the SoA tag lane, mpppb runs the SWAR
+# confidence gather, and mdpp exercises the precomputed tree-PLRU touch
+# tables.
+#
+# The checked run's TSV must also be byte-identical to a plain run: the
+# oracle is observe-only and must not perturb results.
+set -eu
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+BIN="$tmp/mpppb-experiments"
+go build -o "$BIN" ./cmd/mpppb-experiments
+
+ARGS="-id fig6 -benches mcf_like,libquantum_like -st-policies mpppb,mdpp \
+      -warmup 100000 -measure 400000 -q"
+
+echo "== plain run"
+$BIN $ARGS -out "$tmp/plain"
+
+echo "== lockstep -check run (differential oracle armed)"
+$BIN $ARGS -check -out "$tmp/checked"
+
+echo "== comparing TSVs"
+cmp "$tmp/plain/fig6.tsv" "$tmp/checked/fig6.tsv"
+echo "PASS: oracle-checked fig6 segment matches the plain run byte-for-byte"
