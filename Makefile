@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-hotpath bench-record bench-regress experiments results resume-smoke watch-smoke serve-smoke check-smoke cover fuzz clean
+.PHONY: all build test vet race bench bench-hotpath bench-record bench-regress experiments results resume-smoke watch-smoke serve-smoke check-smoke fleet-smoke cover fuzz clean
 
 all: build test
 
@@ -21,7 +21,7 @@ test: vet
 # observability layer their workers all update, and the advice server's
 # concurrent client soak.
 race:
-	$(GO) test -race ./internal/parallel ./internal/sim ./internal/experiments ./internal/obs ./internal/serve
+	$(GO) test -race ./internal/parallel ./internal/sim ./internal/experiments ./internal/obs ./internal/serve ./internal/fleet
 
 # Scaled-down reproduction of every figure/table as Go benchmarks.
 bench:
@@ -74,6 +74,12 @@ serve-smoke:
 # index and a set-level dump (see scripts/check_smoke.sh).
 check-smoke:
 	scripts/check_smoke.sh
+
+# End-to-end fleet campaign: coordinator + two workers, one killed -9
+# mid-run, byte-identical TSVs from the coordinator and the survivor
+# (see scripts/fleet_smoke.sh).
+fleet-smoke:
+	scripts/fleet_smoke.sh
 
 # Coverage gate: per-package report plus a total-% floor
 # (see scripts/cover.sh; override with COVER_BASELINE=<pct>).

@@ -45,6 +45,7 @@ import (
 
 	"mpppb/internal/core"
 	"mpppb/internal/experiments"
+	"mpppb/internal/fleet"
 	"mpppb/internal/journal"
 	"mpppb/internal/obs"
 	"mpppb/internal/parallel"
@@ -132,6 +133,9 @@ func main() {
 		benches = flag.String("benches", "", "restrict fig6/fig7 to these benchmarks (comma-separated)")
 		j       = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for independent runs (1 = serial; output is identical at any -j)")
 		check   = flag.Bool("check", false, "run the lockstep verification layer on every cache (slow; a divergence aborts with the access index and set dump)")
+		coord   = flag.Bool("coordinator", false, "run as fleet coordinator: serve the work-lease API on -listen and let -worker processes compute the cells")
+		workURL = flag.String("worker", "", "run as fleet worker: lease cells from the coordinator at this URL instead of deciding the grid locally")
+		ttl     = flag.Duration("lease-ttl", fleet.DefaultTTL, "coordinator lease heartbeat deadline; an unrenewed cell is reassigned after this long")
 	)
 	jf := journal.RegisterFlags(flag.CommandLine)
 	of := obs.RegisterFlags(flag.CommandLine)
@@ -193,6 +197,19 @@ func main() {
 		Version: journal.BuildVersion(),
 		Seed:    int64(workload.DefaultMixSeed),
 	}
+	if *coord && *workURL != "" {
+		fmt.Fprintln(os.Stderr, "mpppb-experiments: -coordinator and -worker are mutually exclusive")
+		os.Exit(1)
+	}
+	if *coord && of.Listen == "" {
+		fmt.Fprintln(os.Stderr, "mpppb-experiments: -coordinator needs -listen to serve the work-lease API")
+		os.Exit(1)
+	}
+	if *workURL != "" && jf.Path != "" {
+		fmt.Fprintln(os.Stderr, "mpppb-experiments: -worker does not journal locally (the coordinator owns the journal); drop -journal")
+		os.Exit(1)
+	}
+
 	jrnl, err := jf.Open(fp)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mpppb-experiments: %v\n", err)
@@ -202,7 +219,20 @@ func main() {
 
 	status := obs.NewRunStatus("mpppb-experiments")
 	status.SetMeta(fp.Config, jf.Path)
-	obsStop, err := of.Start(status)
+	var board *fleet.Board
+	var routes []obs.Route
+	if *coord {
+		board = fleet.NewBoard(fleet.BoardConfig{
+			Fingerprint: fp,
+			Journal:     jrnl,
+			Status:      status,
+			TTL:         *ttl,
+			Retries:     jf.Retries,
+		})
+		defer board.Close()
+		routes = fleet.Routes(board)
+	}
+	obsStop, err := of.Start(status, routes...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mpppb-experiments: %v\n", err)
 		os.Exit(1)
@@ -221,6 +251,23 @@ func main() {
 		// slots as NaN and the tool exits 3 after reporting the failures.
 		KeepGoing: true,
 		Status:    status,
+		Fleet:     board,
+	}
+	if *workURL != "" {
+		wk, err := fleet.NewWorker(fleet.WorkerConfig{
+			URL:         *workURL,
+			Fingerprint: fp,
+			Workers:     *j,
+			Retries:     jf.Retries,
+			Timeout:     jf.Timeout,
+			Status:      status,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpppb-experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "mpppb-experiments: fleet worker %s leasing from %s\n", wk.ID(), *workURL)
+		r.opts.FleetWorker = wk
 	}
 	if !*quiet {
 		r.opts.Progress = func(format string, args ...any) {
@@ -248,6 +295,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mpppb-experiments: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if board != nil {
+		// Linger until live workers have fetched the final grid (so they
+		// can render the same tables) rather than vanishing mid-poll.
+		board.SettleWorkers(ctx, 2**ttl)
 	}
 	if failures := r.opts.Failures(); len(failures) > 0 {
 		fmt.Fprintf(os.Stderr, "mpppb-experiments: %d cell(s) failed permanently; their table entries are NaN:\n", len(failures))

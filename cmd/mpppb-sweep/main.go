@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"mpppb"
+	"mpppb/internal/fleet"
 	"mpppb/internal/journal"
 	"mpppb/internal/obs"
 	"mpppb/internal/parallel"
@@ -40,6 +42,9 @@ func main() {
 		measure  = flag.Uint64("measure", sim.DefaultMeasure, "measured instructions")
 		check    = flag.Bool("check", false, "run the lockstep verification layer on every cache (slow; a divergence aborts with the access index and set dump)")
 		j        = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for independent runs (1 = serial)")
+		coord    = flag.Bool("coordinator", false, "run as fleet coordinator: serve the work-lease API on -listen and let -worker processes compute the cells")
+		workURL  = flag.String("worker", "", "run as fleet worker: lease cells from the coordinator at this URL instead of computing the grid locally")
+		ttl      = flag.Duration("lease-ttl", fleet.DefaultTTL, "coordinator lease heartbeat deadline; an unrenewed cell is reassigned after this long")
 	)
 	jf := journal.RegisterFlags(flag.CommandLine)
 	of := obs.RegisterFlags(flag.CommandLine)
@@ -93,6 +98,19 @@ func main() {
 		}),
 		Version: journal.BuildVersion(),
 	}
+	if *coord && *workURL != "" {
+		fmt.Fprintln(os.Stderr, "mpppb-sweep: -coordinator and -worker are mutually exclusive")
+		os.Exit(1)
+	}
+	if *coord && of.Listen == "" {
+		fmt.Fprintln(os.Stderr, "mpppb-sweep: -coordinator needs -listen to serve the work-lease API")
+		os.Exit(1)
+	}
+	if *workURL != "" && jf.Path != "" {
+		fmt.Fprintln(os.Stderr, "mpppb-sweep: -worker does not journal locally (the coordinator owns the journal); drop -journal")
+		os.Exit(1)
+	}
+
 	jrnl, err := jf.Open(fp)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mpppb-sweep: %v\n", err)
@@ -102,7 +120,20 @@ func main() {
 
 	status := obs.NewRunStatus("mpppb-sweep")
 	status.SetMeta(fp.Config, jf.Path)
-	obsStop, err := of.Start(status)
+	var board *fleet.Board
+	var routes []obs.Route
+	if *coord {
+		board = fleet.NewBoard(fleet.BoardConfig{
+			Fingerprint: fp,
+			Journal:     jrnl,
+			Status:      status,
+			TTL:         *ttl,
+			Retries:     jf.Retries,
+		})
+		defer board.Close()
+		routes = fleet.Routes(board)
+	}
+	obsStop, err := of.Start(status, routes...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mpppb-sweep: %v\n", err)
 		os.Exit(1)
@@ -130,29 +161,81 @@ func main() {
 	key := func(c cell) string {
 		return "sweep/" + id.String() + "/" + *dim + "/" + points[c.pt].label + "/" + strings.TrimSpace(pols[c.pol])
 	}
-	for _, c := range cells {
-		status.AddCells(key(c))
+	keys := make([]string, len(cells))
+	for i, c := range cells {
+		keys[i] = key(c)
 	}
-	opts := parallel.RunOpts{Retries: jf.Retries, Timeout: jf.Timeout, KeepGoing: true}
-	results, cellErrs, err := parallel.MapErr(ctx, opts, len(cells), func(ctx context.Context, i int) (mpppb.Result, error) {
+	status.AddCells(keys...)
+	simulate := func(i int) (mpppb.Result, error) {
 		c := cells[i]
-		k := key(c)
-		status.CellRunning(k)
-		var res mpppb.Result
-		if hit, err := jrnl.Load(k, &res); err != nil {
-			return mpppb.Result{}, err
-		} else if hit {
-			status.CellDone(k, obs.CellJournal, 0)
-			return res, nil
+		return mpppb.Run(points[c.pt].cfg, id, strings.TrimSpace(pols[c.pol]))
+	}
+	var results []mpppb.Result
+	var cellErrs []error
+	// decode maps fleet raw values (the bytes the journal holds) back into
+	// results; JSON round-trips losslessly, so the table below is
+	// byte-identical to a local run's.
+	decode := func(raws []json.RawMessage) []mpppb.Result {
+		out := make([]mpppb.Result, len(raws))
+		for i, raw := range raws {
+			if cellErrs[i] != nil || raw == nil {
+				continue
+			}
+			if uerr := json.Unmarshal(raw, &out[i]); uerr != nil {
+				cellErrs[i] = uerr
+			}
 		}
-		t0 := time.Now()
-		res, err := mpppb.Run(points[c.pt].cfg, id, strings.TrimSpace(pols[c.pol]))
-		if err != nil {
-			return mpppb.Result{}, err
+		return out
+	}
+	switch {
+	case board != nil:
+		// Coordinator: declare the grid and let the fleet compute it;
+		// journal hits serve immediately.
+		var raws []json.RawMessage
+		raws, cellErrs, err = fleet.Coordinate(ctx, board, keys, nil)
+		results = decode(raws)
+	case *workURL != "":
+		var wk *fleet.Worker
+		wk, err = fleet.NewWorker(fleet.WorkerConfig{
+			URL: *workURL, Fingerprint: fp, Workers: *j,
+			Retries: jf.Retries, Timeout: jf.Timeout, Status: status,
+		})
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "mpppb-sweep: fleet worker %s leasing from %s\n", wk.ID(), *workURL)
+			var raws []json.RawMessage
+			raws, cellErrs, err = wk.Run(ctx, keys, func(_ context.Context, i int) (any, error) {
+				status.CellRunning(keys[i])
+				t0 := time.Now()
+				res, rerr := simulate(i)
+				if rerr != nil {
+					return nil, rerr
+				}
+				status.CellDone(keys[i], obs.CellOK, time.Since(t0))
+				return res, nil
+			})
+			results = decode(raws)
 		}
-		status.CellDone(k, obs.CellOK, time.Since(t0))
-		return res, jrnl.Record(k, res)
-	})
+	default:
+		opts := parallel.RunOpts{Retries: jf.Retries, Timeout: jf.Timeout, KeepGoing: true}
+		results, cellErrs, err = parallel.MapErr(ctx, opts, len(cells), func(ctx context.Context, i int) (mpppb.Result, error) {
+			k := keys[i]
+			status.CellRunning(k)
+			var res mpppb.Result
+			if hit, err := jrnl.Load(k, &res); err != nil {
+				return mpppb.Result{}, err
+			} else if hit {
+				status.CellDone(k, obs.CellJournal, 0)
+				return res, nil
+			}
+			t0 := time.Now()
+			res, err := simulate(i)
+			if err != nil {
+				return mpppb.Result{}, err
+			}
+			status.CellDone(k, obs.CellOK, time.Since(t0))
+			return res, jrnl.Record(k, res)
+		})
+	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "mpppb-sweep: interrupted")
@@ -163,6 +246,11 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(1)
+	}
+	if board != nil {
+		// Linger until live workers have fetched the final grid (so they
+		// can render the same tables) rather than vanishing mid-poll.
+		board.SettleWorkers(ctx, 2**ttl)
 	}
 	failed := 0
 	for pi, pt := range points {

@@ -8,11 +8,13 @@ package experiments
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"mpppb/internal/fleet"
 	"mpppb/internal/journal"
 	"mpppb/internal/obs"
 	"mpppb/internal/parallel"
@@ -111,6 +113,17 @@ type Run struct {
 	// as grids are built and transition pending → running → ok/journal/
 	// failed as workers report.
 	Status *obs.RunStatus
+	// Fleet, when non-nil, makes this process a campaign coordinator:
+	// cells are declared on the board and computed by remote workers
+	// leasing them over HTTP, never locally. Journal hits still serve
+	// immediately, and accepted worker results are merged into Journal by
+	// the board, so resume and table emission behave exactly like a local
+	// run.
+	Fleet *fleet.Board
+	// FleetWorker, when non-nil, makes this process a campaign worker: it
+	// leases cells from Fleet's coordinator and uploads results instead of
+	// journaling locally. Mutually exclusive with Fleet and Journal.
+	FleetWorker *fleet.Worker
 
 	mu       sync.Mutex
 	failures []CellFailure
@@ -211,6 +224,12 @@ func (r *Run) Failures() []CellFailure {
 // as cell failures — an interrupted cell is simply absent and recomputes
 // on resume.
 func runCells[T any](r *Run, keys []string, compute func(ctx context.Context, i int) (T, error)) ([]T, []error, error) {
+	if r != nil && r.Fleet != nil {
+		return runCellsCoordinator[T](r, keys)
+	}
+	if r != nil && r.FleetWorker != nil {
+		return runCellsWorker(r, keys, compute)
+	}
 	trk := r.prog().tracker(len(keys))
 	st := r.status()
 	st.AddCells(keys...)
@@ -254,6 +273,97 @@ func runCells[T any](r *Run, keys []string, compute func(ctx context.Context, i 
 		mCellsFailed.Inc()
 	}
 	return results, errs, err
+}
+
+// runCellsCoordinator runs one grid in fleet-coordinator mode: declare the
+// cells on the board, serve journal hits, and wait for workers to lease
+// and complete the rest. Results arrive as the raw JSON the worker
+// uploaded (already merged into the journal by the board) and decode into
+// T exactly as a -resume run decodes its journal — the same losslessness
+// contract, so fleet tables are byte-identical to local ones.
+func runCellsCoordinator[T any](r *Run, keys []string) ([]T, []error, error) {
+	trk := r.prog().tracker(len(keys))
+	st := r.status()
+	st.AddCells(keys...)
+	mCellsDeclared.Add(int64(len(keys)))
+	raws, errs, runErr := fleet.Coordinate(r.ctx(), r.Fleet, keys, func(i int, key string, fromJournal bool, cellErr error) {
+		switch {
+		case cellErr != nil:
+		case fromJournal:
+			mCellsJournal.Inc()
+			trk.step("%s (from journal)", key)
+		default:
+			mCellsComputed.Inc()
+			trk.step("%s (fleet)", key)
+		}
+	})
+	results := make([]T, len(keys))
+	for i, raw := range raws {
+		if errs[i] != nil || raw == nil {
+			continue
+		}
+		if uerr := json.Unmarshal(raw, &results[i]); uerr != nil {
+			errs[i] = fmt.Errorf("fleet: decode %s: %w", keys[i], uerr)
+		}
+	}
+	settleFailures(r, keys, errs)
+	return results, errs, runErr
+}
+
+// runCellsWorker runs one grid in fleet-worker mode: lease cells from the
+// coordinator, compute them locally (with the Run's retry/timeout policy),
+// upload results, and — once the coordinator reports the grid drained —
+// fetch every cell so this process can emit the same tables the
+// coordinator does. No local journal is written; the coordinator owns it.
+func runCellsWorker[T any](r *Run, keys []string, compute func(ctx context.Context, i int) (T, error)) ([]T, []error, error) {
+	trk := r.prog().tracker(len(keys))
+	st := r.status()
+	st.AddCells(keys...)
+	mCellsDeclared.Add(int64(len(keys)))
+	raws, errs, runErr := r.FleetWorker.Run(r.ctx(), keys, func(ctx context.Context, i int) (any, error) {
+		t0 := time.Now()
+		v, cerr := compute(ctx, i)
+		if cerr != nil {
+			return v, cerr
+		}
+		elapsed := time.Since(t0)
+		mCellsComputed.Inc()
+		mCellSeconds.Observe(elapsed.Seconds())
+		trk.step("%s", keys[i])
+		return v, nil
+	})
+	if runErr != nil && len(raws) == 0 {
+		return nil, nil, runErr
+	}
+	results := make([]T, len(keys))
+	for i, raw := range raws {
+		if errs[i] != nil || raw == nil {
+			continue
+		}
+		if uerr := json.Unmarshal(raw, &results[i]); uerr != nil {
+			errs[i] = fmt.Errorf("fleet: decode %s: %w", keys[i], uerr)
+		}
+	}
+	settleFailures(r, keys, errs)
+	return results, errs, runErr
+}
+
+// settleFailures records permanent cell failures after a fleet grid
+// resolves: the Run's failure list, the /status manifest, and the journal
+// (coordinator only; a worker's jrnl() is nil). Cancellations are not
+// failures — those cells recompute on resume.
+func settleFailures(r *Run, keys []string, errs []error) {
+	j := r.jrnl()
+	st := r.status()
+	for i, e := range errs {
+		if e == nil || errors.Is(e, context.Canceled) {
+			continue
+		}
+		j.RecordFailure(keys[i], e)
+		r.addFailure(keys[i], e)
+		st.CellDone(keys[i], obs.CellFailed, 0)
+		mCellsFailed.Inc()
+	}
 }
 
 // DefaultSingleThreadPolicies are the realistic policies compared in the

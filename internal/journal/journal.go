@@ -210,6 +210,44 @@ func (j *Journal) Record(key string, v any) error {
 	return j.writeLine(rec)
 }
 
+// RecordRaw persists a completed cell whose value is already marshaled —
+// the fleet coordinator merges worker results this way, byte-for-byte as
+// the worker produced them. raw must be a single valid JSON value; a
+// partial or malformed payload is refused so a truncated worker upload can
+// never poison the journal. No-op on a nil Journal.
+func (j *Journal) RecordRaw(key string, raw json.RawMessage) error {
+	if j == nil {
+		return nil
+	}
+	if len(raw) == 0 || !json.Valid(raw) {
+		return fmt.Errorf("journal: refusing partial or malformed value for %s", key)
+	}
+	rec := record{Key: key, Status: StatusOK, Value: raw}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.entries[key] = rec
+	mRecorded.Inc()
+	return j.writeLine(rec)
+}
+
+// LoadRaw returns a completed cell's marshaled value without decoding it,
+// reporting whether the key was found with status ok — the raw twin of
+// Load, for callers (the fleet coordinator) that forward values verbatim.
+// Always misses on a nil Journal.
+func (j *Journal) LoadRaw(key string) (json.RawMessage, bool) {
+	if j == nil {
+		return nil, false
+	}
+	j.mu.Lock()
+	rec, ok := j.entries[key]
+	j.mu.Unlock()
+	if !ok || rec.Status != StatusOK {
+		return nil, false
+	}
+	mServed.Inc()
+	return rec.Value, true
+}
+
 // RecordFailure persists a cell that exhausted its retries, so a resumed
 // run knows the failure was explicit rather than a missing cell. A later
 // Record for the same key supersedes it. No-op on a nil Journal.

@@ -212,6 +212,132 @@ func TestNilJournalIsDisabled(t *testing.T) {
 	}
 }
 
+// TestDuplicateKeyTrailsAcrossResume pins last-entry-wins for both
+// duplicate-key orders a real campaign produces: a cell that succeeded and
+// was later superseded by a failure record (ok→failed: the final state is
+// failed, so resume recomputes it), and a cell that failed and then
+// succeeded on a retry (failed→ok: resume serves the value). The full
+// trail stays in the file; only the last entry per key counts.
+func TestDuplicateKeyTrailsAcrossResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j := mustCreate(t, path)
+	// ok → failed
+	if err := j.Record("cell/ok-then-failed", cell{IPC: 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordFailure("cell/ok-then-failed", errors.New("later invalidated")); err != nil {
+		t.Fatal(err)
+	}
+	// failed → ok
+	if err := j.RecordFailure("cell/failed-then-ok", errors.New("first attempt died")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("cell/failed-then-ok", cell{IPC: 2.5, MPKI: 3.25}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	r, err := Resume(path, testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var got cell
+	if ok, _ := r.Load("cell/ok-then-failed", &got); ok {
+		t.Fatal("ok-then-failed: the trailing failure record must win")
+	}
+	if _, ok := r.LoadRaw("cell/ok-then-failed"); ok {
+		t.Fatal("ok-then-failed: LoadRaw served a cell whose last entry is failed")
+	}
+	if ok, _ := r.Load("cell/failed-then-ok", &got); !ok || got != (cell{IPC: 2.5, MPKI: 3.25}) {
+		t.Fatalf("failed-then-ok: ok=%v got=%+v, want the retried value", ok, got)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 distinct keys", r.Len())
+	}
+}
+
+// TestResumeHeaderOnlyJournal: a run that crashed after Create but before
+// any cell completed leaves a header-only file; resume must accept it as
+// an empty (not corrupt) journal and append to it normally.
+func TestResumeHeaderOnlyJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	mustCreate(t, path).Close()
+
+	r, err := Resume(path, testFP)
+	if err != nil {
+		t.Fatalf("resuming a header-only journal: %v", err)
+	}
+	defer r.Close()
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", r.Len())
+	}
+	if err := r.Record("cell/first", cell{IPC: 1.5}); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	r2, err := Resume(path, testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	var got cell
+	if ok, _ := r2.Load("cell/first", &got); !ok || got.IPC != 1.5 {
+		t.Fatalf("post-header-only append lost: ok=%v got=%+v", ok, got)
+	}
+}
+
+// TestRecordRawLoadRaw: the fleet merge path writes pre-marshaled values
+// byte-for-byte and refuses partial payloads; LoadRaw serves the exact
+// bytes back across a resume.
+func TestRecordRawLoadRaw(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j := mustCreate(t, path)
+	raw := []byte(`{"ipc":1.125,"mpki":7.25}`)
+	if err := j.RecordRaw("cell/raw", raw); err != nil {
+		t.Fatal(err)
+	}
+	// A truncated worker upload must never reach the file.
+	if err := j.RecordRaw("cell/torn", []byte(`{"ipc":1.`)); err == nil {
+		t.Fatal("malformed raw value accepted")
+	}
+	if err := j.RecordRaw("cell/empty", nil); err == nil {
+		t.Fatal("empty raw value accepted")
+	}
+	got, ok := j.LoadRaw("cell/raw")
+	if !ok || string(got) != string(raw) {
+		t.Fatalf("LoadRaw = %q ok=%v, want %q", got, ok, raw)
+	}
+	// Typed Load decodes the same record.
+	var c cell
+	if ok, err := j.Load("cell/raw", &c); err != nil || !ok || c.IPC != 1.125 {
+		t.Fatalf("Load over raw record: ok=%v err=%v c=%+v", ok, err, c)
+	}
+	j.Close()
+
+	r, err := Resume(path, testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got, ok = r.LoadRaw("cell/raw")
+	if !ok || string(got) != string(raw) {
+		t.Fatalf("post-resume LoadRaw = %q ok=%v, want %q byte-identical", got, ok, raw)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (refused records must not count)", r.Len())
+	}
+
+	// Nil journal: raw path is disabled like everything else.
+	var nilJ *Journal
+	if err := nilJ.RecordRaw("k", raw); err != nil {
+		t.Fatal("nil RecordRaw errored")
+	}
+	if _, ok := nilJ.LoadRaw("k"); ok {
+		t.Fatal("nil LoadRaw hit")
+	}
+}
+
 func TestConfigHashStable(t *testing.T) {
 	type cfg struct {
 		Warmup  uint64

@@ -30,18 +30,19 @@ func RegisterFlags(fs *flag.FlagSet) *Flags {
 
 // Start activates the configured observability sinks for st: the HTTP
 // server when -listen was given (its bound address is announced on stderr)
-// and the heartbeat ticker when -progress was given. The returned stop
-// function shuts both down and is safe to call multiple times; it is
-// always non-nil, so callers `defer stop()` unconditionally. Everything
-// here writes to stderr or HTTP only — stdout output is untouched, so
-// TSVs stay byte-identical with observability on.
-func (f *Flags) Start(st *RunStatus) (stop func(), err error) {
+// and the heartbeat ticker when -progress was given. Extra routes are
+// mounted on the HTTP server (the fleet coordinator's work-lease API).
+// The returned stop function shuts both down and is safe to call multiple
+// times; it is always non-nil, so callers `defer stop()` unconditionally.
+// Everything here writes to stderr or HTTP only — stdout output is
+// untouched, so TSVs stay byte-identical with observability on.
+func (f *Flags) Start(st *RunStatus, extra ...Route) (stop func(), err error) {
 	if f == nil {
 		return func() {}, nil
 	}
 	var srv *Server
 	if f.Listen != "" {
-		srv, err = Serve(f.Listen, Default(), st)
+		srv, err = Serve(f.Listen, Default(), st, extra...)
 		if err != nil {
 			return func() {}, err
 		}

@@ -17,10 +17,19 @@ type Server struct {
 	srv *http.Server
 }
 
+// Route mounts one extra handler on the obs server. The fleet work-lease
+// API rides here: the -listen port every binary already opens doubles as
+// its control plane, so a coordinator needs no second listener.
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // Serve binds addr (e.g. ":8080", "127.0.0.1:0") and serves reg and st in
 // the background. Either may be nil — the endpoint then serves an empty
-// body. The caller owns shutdown via Close.
-func Serve(addr string, reg *Registry, st *RunStatus) (*Server, error) {
+// body. Extra routes are mounted verbatim. The caller owns shutdown via
+// Close.
+func Serve(addr string, reg *Registry, st *RunStatus, extra ...Route) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
@@ -32,8 +41,15 @@ func Serve(addr string, reg *Registry, st *RunStatus) (*Server, error) {
 	})
 	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		st.WriteJSON(w)
+		if err := st.WriteJSON(w); err != nil {
+			// Marshal failure (nothing written yet): report it rather than
+			// returning a silent empty 200 body.
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 	})
+	for _, rt := range extra {
+		mux.Handle(rt.Pattern, rt.Handler)
+	}
 	// The pprof handlers are wired explicitly rather than via the package's
 	// DefaultServeMux side-effect registration, so only -listen exposes
 	// them.

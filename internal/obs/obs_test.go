@@ -300,6 +300,101 @@ func TestStatusJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestStatusFullyResumedRunHasFiniteETA pins the fully-resumed edge case:
+// when every completed cell was served from the journal, no cell ever
+// computed, so there is no per-cell latency and no completion rate to
+// extrapolate. Both ETA fields must be exactly 0 — never NaN or Inf,
+// which json.Marshal refuses and which would blank the /status body.
+func TestStatusFullyResumedRunHasFiniteETA(t *testing.T) {
+	st := NewRunStatus("resumed")
+	st.AddCells("a", "b", "c")
+	for _, k := range []string{"a", "b", "c"} {
+		st.CellDone(k, CellJournal, 0)
+	}
+	snap := st.Snapshot()
+	if snap.DoneCells != 3 || snap.TotalCells != 3 {
+		t.Fatalf("done/total = %d/%d, want 3/3", snap.DoneCells, snap.TotalCells)
+	}
+	if snap.MeanCellSeconds != 0 || snap.ETASeconds != 0 {
+		t.Fatalf("mean/eta = %g/%g, want 0/0 on a fully journal-served run",
+			snap.MeanCellSeconds, snap.ETASeconds)
+	}
+	if math.IsNaN(snap.MeanCellSeconds) || math.IsInf(snap.ETASeconds, 0) {
+		t.Fatal("non-finite ETA fields")
+	}
+	// The /status body must render: a NaN would make WriteJSON error and
+	// the endpoint answer 500 with an empty-looking page.
+	var buf bytes.Buffer
+	if err := st.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON on a fully-resumed run: %v", err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("/status body is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if decoded.ETASeconds != 0 {
+		t.Fatalf("decoded eta = %g, want 0", decoded.ETASeconds)
+	}
+	// Same guarantee mid-resume: some journal hits, none computed yet.
+	st2 := NewRunStatus("mid-resume")
+	st2.AddCells("a", "b")
+	st2.CellDone("a", CellJournal, 0)
+	if s := st2.Snapshot(); s.MeanCellSeconds != 0 || s.ETASeconds != 0 {
+		t.Fatalf("mid-resume mean/eta = %g/%g, want 0/0", s.MeanCellSeconds, s.ETASeconds)
+	}
+}
+
+// TestStatusCellLeases covers the fleet-coordinator lease view: leased
+// cells show their holder in cell_leases, requeues and completions clear
+// it, and the field round-trips through the /status JSON.
+func TestStatusCellLeases(t *testing.T) {
+	st := NewRunStatus("fleet")
+	st.AddCells("a", "b")
+	st.CellLeased("a", "worker-1")
+	st.CellLeased("b", "worker-2")
+	snap := st.Snapshot()
+	if snap.CellLeases["a"] != "worker-1" || snap.CellLeases["b"] != "worker-2" {
+		t.Fatalf("cell_leases = %v", snap.CellLeases)
+	}
+	if snap.Cells["a"] != CellRunning {
+		t.Fatalf("leased cell state = %s, want running", snap.Cells["a"])
+	}
+
+	// A requeued cell (expired lease) returns to pending with no holder.
+	st.CellRequeued("a")
+	snap = st.Snapshot()
+	if _, held := snap.CellLeases["a"]; held {
+		t.Fatal("requeued cell still shows a lease holder")
+	}
+	if snap.Cells["a"] != CellPending {
+		t.Fatalf("requeued cell state = %s, want pending", snap.Cells["a"])
+	}
+	// Requeue of a terminal cell is a no-op on state.
+	st.CellDone("b", CellOK, time.Second)
+	st.CellRequeued("b")
+	snap = st.Snapshot()
+	if snap.Cells["b"] != CellOK {
+		t.Fatalf("terminal cell demoted by requeue: %s", snap.Cells["b"])
+	}
+	if len(snap.CellLeases) != 0 {
+		t.Fatalf("leases after completion = %v, want none", snap.CellLeases)
+	}
+
+	// JSON round-trip carries the lease map while present.
+	st.CellLeased("a", "worker-3")
+	var buf bytes.Buffer
+	if err := st.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.CellLeases["a"] != "worker-3" {
+		t.Fatalf("decoded cell_leases = %v", decoded.CellLeases)
+	}
+}
+
 // TestServerEndpoints boots the -listen server on an ephemeral port and
 // exercises /metrics, /status, the index, and 404s.
 func TestServerEndpoints(t *testing.T) {

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 )
@@ -34,8 +35,9 @@ type RunStatus struct {
 	journalPath string
 	started     time.Time
 
-	order []string
-	cells map[string]CellState
+	order  []string
+	cells  map[string]CellState
+	leases map[string]string // cell key → fleet worker currently holding it
 
 	done       int // cells in a terminal state
 	computed   int // subset of done that ran (not served from journal)
@@ -89,6 +91,36 @@ func (s *RunStatus) CellRunning(key string) {
 	s.mu.Unlock()
 }
 
+// CellLeased marks a cell as leased to a named fleet worker: the cell
+// shows as running and /status reports the holder in cell_leases.
+func (s *RunStatus) CellLeased(key, worker string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.setLocked(key, CellRunning)
+	if s.leases == nil {
+		s.leases = map[string]string{}
+	}
+	s.leases[key] = worker
+	s.mu.Unlock()
+}
+
+// CellRequeued returns a dispatched-but-unfinished cell to pending (a
+// fleet lease expired, or a retryable failure earned the cell a fresh
+// assignment). Terminal cells are left untouched.
+func (s *RunStatus) CellRequeued(key string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.cells[key] == CellRunning {
+		s.setLocked(key, CellPending)
+	}
+	delete(s.leases, key)
+	s.mu.Unlock()
+}
+
 // CellDone marks a cell's terminal state. elapsed is the cell's wall time
 // when it was computed (pass 0 for CellJournal — journal hits don't inform
 // the ETA's per-cell latency mean).
@@ -108,6 +140,7 @@ func (s *RunStatus) CellDone(key string, state CellState, elapsed time.Duration)
 			s.computeSum += elapsed
 		}
 	}
+	delete(s.leases, key)
 	s.mu.Unlock()
 }
 
@@ -129,12 +162,15 @@ type Snapshot struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	// Cells maps every declared key to its state, and the counters below
 	// summarize them.
-	Cells        map[string]CellState `json:"cells"`
-	CellOrder    []string             `json:"cell_order"`
-	TotalCells   int                  `json:"total_cells"`
-	DoneCells    int                  `json:"done_cells"`
-	RunningCells int                  `json:"running_cells"`
-	FailedCells  int                  `json:"failed_cells"`
+	Cells     map[string]CellState `json:"cells"`
+	CellOrder []string             `json:"cell_order"`
+	// CellLeases maps cells currently leased to a fleet worker to the
+	// worker holding them (coordinator runs only).
+	CellLeases   map[string]string `json:"cell_leases,omitempty"`
+	TotalCells   int               `json:"total_cells"`
+	DoneCells    int               `json:"done_cells"`
+	RunningCells int               `json:"running_cells"`
+	FailedCells  int               `json:"failed_cells"`
 	// MeanCellSeconds is the moving mean wall time of computed (not
 	// journal-served) cells; ETASeconds extrapolates it over the remaining
 	// cells at the observed completion rate. Both 0 until a cell computes.
@@ -170,6 +206,17 @@ func (s *RunStatus) Snapshot() Snapshot {
 			snap.FailedCells++
 		}
 	}
+	if len(s.leases) > 0 {
+		snap.CellLeases = make(map[string]string, len(s.leases))
+		for k, w := range s.leases {
+			snap.CellLeases[k] = w
+		}
+	}
+	// ETA needs at least one *computed* cell: journal hits are excluded
+	// from the per-cell mean, so a fully-resumed run (every done cell
+	// served from the journal) has no completion rate to extrapolate and
+	// both fields stay 0 — never a NaN/Inf, which json.Marshal refuses and
+	// which would blank the /status body.
 	if s.computed > 0 {
 		snap.MeanCellSeconds = s.computeSum.Seconds() / float64(s.computed)
 		// Completion-rate ETA: remaining cells at the pace of the cells
@@ -179,6 +226,14 @@ func (s *RunStatus) Snapshot() Snapshot {
 			rate := time.Since(s.started).Seconds() / float64(s.done)
 			snap.ETASeconds = rate * float64(len(s.order)-s.done)
 		}
+	}
+	// Belt and braces for the JSON contract: no arithmetic above should
+	// produce a non-finite value, but /status must never 500 over one.
+	if math.IsNaN(snap.MeanCellSeconds) || math.IsInf(snap.MeanCellSeconds, 0) {
+		snap.MeanCellSeconds = 0
+	}
+	if math.IsNaN(snap.ETASeconds) || math.IsInf(snap.ETASeconds, 0) {
+		snap.ETASeconds = 0
 	}
 	return snap
 }

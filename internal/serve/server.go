@@ -69,11 +69,31 @@ type Server struct {
 	acceptWG sync.WaitGroup
 
 	mu       sync.Mutex
-	conns    map[net.Conn]struct{}
+	conns    map[*servedConn]struct{}
 	firstErr error
 	stopped  bool
+	// stopDone is closed by the first stop() caller once teardown is
+	// complete; concurrent and repeat callers block on it instead of
+	// re-waiting the WaitGroups, so every caller returns only after the
+	// server has fully quiesced.
+	stopDone chan struct{}
 
 	connSeq atomic.Uint64
+}
+
+// servedConn wraps an accepted connection with an idempotent Close: the
+// handler's removeConn and Shutdown's drain-deadline force-close can race
+// to tear a connection down, and only one of them should actually close
+// the socket.
+type servedConn struct {
+	net.Conn
+	closeOnce sync.Once
+	closeErr  error
+}
+
+func (c *servedConn) Close() error {
+	c.closeOnce.Do(func() { c.closeErr = c.Conn.Close() })
+	return c.closeErr
 }
 
 // job is one batch handed to a shard worker. The worker fills advice and
@@ -114,11 +134,12 @@ func Start(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:   cfg,
-		ln:    ln,
-		m:     newMetrics(cfg.Metrics),
-		jobs:  make([]chan *job, cfg.Shards),
-		conns: map[net.Conn]struct{}{},
+		cfg:      cfg,
+		ln:       ln,
+		m:        newMetrics(cfg.Metrics),
+		jobs:     make([]chan *job, cfg.Shards),
+		conns:    map[*servedConn]struct{}{},
+		stopDone: make(chan struct{}),
 	}
 	for i := range s.jobs {
 		s.jobs[i] = make(chan *job, 1)
@@ -218,10 +239,11 @@ func (s *Server) applyBatch(j *job) error {
 func (s *Server) acceptLoop() {
 	defer s.acceptWG.Done()
 	for {
-		conn, err := s.ln.Accept()
+		raw, err := s.ln.Accept()
 		if err != nil {
 			return // listener closed by Shutdown/Close
 		}
+		conn := &servedConn{Conn: raw}
 		s.mu.Lock()
 		if s.stopped {
 			s.mu.Unlock()
@@ -235,7 +257,7 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-func (s *Server) removeConn(conn net.Conn) {
+func (s *Server) removeConn(conn *servedConn) {
 	s.mu.Lock()
 	delete(s.conns, conn)
 	s.mu.Unlock()
@@ -245,7 +267,7 @@ func (s *Server) removeConn(conn net.Conn) {
 
 // handle runs one connection: handshake, then a synchronous
 // events→advice loop until the client hangs up.
-func (s *Server) handle(conn net.Conn) {
+func (s *Server) handle(conn *servedConn) {
 	defer s.removeConn(conn)
 	s.m.connections.Inc()
 	s.m.clients.Inc()
@@ -364,14 +386,15 @@ func (s *Server) stop(drain time.Duration) {
 	s.mu.Lock()
 	if s.stopped {
 		s.mu.Unlock()
-		// Either path waits for full teardown, so concurrent callers
-		// converge on the same quiesced state.
-		s.connWG.Wait()
-		s.shardWG.Wait()
+		// A concurrent or repeat caller must not re-Wait the WaitGroups
+		// (the first caller may still be between its Waits and the channel
+		// closes); it just waits for the first caller to finish teardown.
+		<-s.stopDone
 		return
 	}
 	s.stopped = true
 	s.mu.Unlock()
+	defer close(s.stopDone)
 
 	s.ln.Close()
 	s.acceptWG.Wait()

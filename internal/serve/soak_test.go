@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"mpppb/internal/core"
 	"mpppb/internal/obs"
@@ -101,6 +102,98 @@ func TestServeSoak(t *testing.T) {
 	}
 	if v := reg.Histogram("mpppb_serve_batch_seconds", "", nil).Count(); v != wantBatches {
 		t.Errorf("batch latency histogram holds %d samples, want %d", v, wantBatches)
+	}
+}
+
+// TestServeShutdownMidBatchSoak pins the shutdown race surface: clients
+// stream batches continuously while Shutdown fires mid-batch with a drain
+// timeout too short to let them finish, so the drain-deadline force-close
+// races the handlers' own failConn/removeConn teardown. Several goroutines
+// call Shutdown and Close concurrently and repeatedly; under -race this
+// must produce no double-close panic, no write-after-close data race on
+// the buffered writers, and every caller must return only after the
+// server has fully quiesced.
+func TestServeShutdownMidBatchSoak(t *testing.T) {
+	const (
+		clients  = 8
+		stoppers = 4
+	)
+	params := testParams()
+	reg := obs.NewRegistry()
+	srv, err := Start(Config{
+		Addr: "127.0.0.1:0", Sets: 64, Params: params,
+		Shards: 2, Metrics: reg,
+		// Short enough that in-flight batches are still streaming when the
+		// force-close fires.
+		DrainTimeout: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := Annotate(newTestGen(7777), 4_000, 64, 4, params)
+
+	started := make(chan struct{}, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(srv.Addr(), uint64(i)+1)
+			if err != nil {
+				// The server may already be shutting down; that's a valid
+				// interleaving, not a failure.
+				started <- struct{}{}
+				return
+			}
+			defer c.Close()
+			started <- struct{}{}
+			var advice []core.Advice
+			for {
+				// Loop the stream until the shutdown severs the connection;
+				// every error past this point is the expected teardown.
+				for off := 0; off < len(events); off += 256 {
+					end := min(off+256, len(events))
+					if advice, err = c.Advise(events[off:end], advice); err != nil {
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < clients; i++ {
+		<-started
+	}
+
+	// Concurrent stoppers: mixed Shutdown and Close, plus repeat calls.
+	// Every one must block until teardown is complete and then return.
+	var stopWG sync.WaitGroup
+	for i := 0; i < stoppers; i++ {
+		stopWG.Add(1)
+		go func(i int) {
+			defer stopWG.Done()
+			if i%2 == 0 {
+				srv.Shutdown()
+			} else {
+				srv.Close()
+			}
+			srv.Shutdown() // repeat calls are no-ops that still wait
+		}(i)
+	}
+
+	stopDone := make(chan struct{})
+	go func() { stopWG.Wait(); close(stopDone) }()
+	select {
+	case <-stopDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Shutdown callers did not return: teardown deadlocked")
+	}
+	wg.Wait()
+
+	if v := reg.Gauge("mpppb_serve_active_clients", "").Value(); v != 0 {
+		t.Errorf("active clients gauge %d after shutdown, want 0", v)
+	}
+	if err := srv.Err(); err != nil {
+		t.Errorf("server recorded error: %v", err)
 	}
 }
 

@@ -2,10 +2,11 @@
 # Bench-regression smoke: record a throwaway trajectory point with
 # scripts/bench.sh and fail if either hot-path metric —
 # llc_access_ns_per_op or predictor_confidence_ns_per_op — regressed more
-# than 15% against the newest checked-in BENCH_*.json. Advisory by design
-# (CI runs it with continue-on-error): shared runners are noisy, so a red
-# result is a prompt to look, not proof of a regression. The temp point is
-# deleted afterwards; only scripts/bench.sh records real trajectory points.
+# than the threshold against the newest checked-in BENCH_*.json. The
+# default 15% suits quiet local machines; CI enforces the gate at 20% to
+# absorb shared-runner noise while still blocking real regressions. The
+# temp point is deleted afterwards; only scripts/bench.sh records real
+# trajectory points.
 #
 # Usage: scripts/bench_regress.sh [threshold-pct]
 set -eu
