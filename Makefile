@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-hotpath bench-record bench-regress experiments results resume-smoke watch-smoke serve-smoke check-smoke fleet-smoke cover fuzz clean
+.PHONY: all build test vet race bench bench-hotpath bench-record bench-regress experiments results resume-smoke watch-smoke serve-smoke check-smoke fleet-smoke ingest-smoke cover fuzz clean
 
 all: build test
 
@@ -81,6 +81,13 @@ check-smoke:
 fleet-smoke:
 	scripts/fleet_smoke.sh
 
+# End-to-end trace ingestion: capture → CSV/JSONL → ingest must reproduce
+# the binary trace byte-for-byte, journal hits on re-ingest, and the
+# ingested trace replays identically under -check and as a trace:<path>
+# benchmark (see scripts/ingest_smoke.sh).
+ingest-smoke:
+	scripts/ingest_smoke.sh
+
 # Coverage gate: per-package report plus a total-% floor
 # (see scripts/cover.sh; override with COVER_BASELINE=<pct>).
 cover:
@@ -95,6 +102,7 @@ fuzz:
 	$(GO) test -run NONE -fuzz FuzzCacheOps -fuzztime $(FUZZTIME) ./internal/verify
 	$(GO) test -run NONE -fuzz FuzzJournalLoad -fuzztime $(FUZZTIME) ./internal/journal
 	$(GO) test -run NONE -fuzz FuzzTraceRoundTrip -fuzztime $(FUZZTIME) ./internal/trace
+	$(GO) test -run NONE -fuzz FuzzIngestTrace -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run NONE -fuzz FuzzServeProtocol -fuzztime $(FUZZTIME) ./internal/serve
 
 clean:

@@ -31,6 +31,7 @@ import (
 	"mpppb/internal/core"
 	"mpppb/internal/obs"
 	"mpppb/internal/serve"
+	"mpppb/internal/stats"
 	"mpppb/internal/workload"
 )
 
@@ -132,12 +133,15 @@ func runClient(addr string, params core.Params, bench string, seg, n, batch, set
 	var served []byte
 	var advice []core.Advice
 	var sum summary
+	lat := make([]float64, 0, (len(events)+batch-1)/batch)
 	start := time.Now()
 	for off := 0; off < len(events); off += batch {
 		end := min(off+batch, len(events))
+		t0 := time.Now()
 		if advice, err = c.Advise(events[off:end], advice); err != nil {
 			return fmt.Errorf("batch at %d: %w", off, err)
 		}
+		lat = append(lat, float64(time.Since(t0).Microseconds()))
 		for i, a := range advice {
 			sum.add(events[off+i], a)
 		}
@@ -165,6 +169,11 @@ func runClient(addr string, params core.Params, bench string, seg, n, batch, set
 		sum.placements[0], sum.placements[1], sum.placements[2], sum.placements[3])
 	fmt.Fprintf(os.Stderr, "serve: %d events in %v (%.0f events/s)\n",
 		sum.events, elapsed.Round(time.Millisecond), float64(sum.events)/elapsed.Seconds())
+	if len(lat) > 0 {
+		p := stats.Percentiles(lat, 0.50, 0.90, 0.99)
+		fmt.Fprintf(os.Stderr, "serve: batch round-trip latency p50=%.0fµs p90=%.0fµs p99=%.0fµs\n",
+			p[0], p[1], p[2])
+	}
 	return nil
 }
 

@@ -57,9 +57,10 @@ func main() {
 		fmt.Println("policies:", strings.Join(sim.PolicyNames(), " "), "min")
 		fmt.Println("benchmarks:")
 		classes := workload.Classes()
-		for _, b := range workload.Benchmarks() {
+		for _, b := range workload.AllBenchmarks() {
 			fmt.Printf("  %-22s %s\n", b, classes[b])
 		}
+		fmt.Println("  trace:<path>           external-trace (ingested binary trace)")
 		return
 	}
 

@@ -6,12 +6,20 @@
 //	mpppb-trace -capture mcf_like-0 -n 2000000 -o mcf.trc
 //	mpppb-trace -stats mcf.trc
 //	mpppb-trace -replay mcf.trc -policy lru,mpppb
-//	mpppb-trace -import mytrace.csv -o mytrace.trc   # external traces
+//	mpppb-trace -ingest mytrace.csv -o mytrace.trc   # external traces
+//	mpppb-trace -ingest mytrace.jsonl -o mytrace.trc
 //	mpppb-trace -export mcf.trc > mcf.csv
+//
+// -ingest converts externally collected CSV or JSONL traces (format
+// auto-detected, or forced with -format) to the binary format with strict
+// parse errors; the resulting file runs anywhere a benchmark name is
+// accepted via the trace:<path> workload family. -import is the older
+// CSV-only spelling of the same conversion.
 //
 // Replays checkpoint with -journal FILE; entries are keyed by a content
 // hash of the trace, so -resume refuses to reuse results if the trace
-// file changed underneath the journal.
+// file changed underneath the journal. Ingests are journaled the same
+// way, keyed by the source file's content hash.
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"mpppb/internal/parallel"
 	"mpppb/internal/prof"
 	"mpppb/internal/sim"
+	"mpppb/internal/stats"
 	"mpppb/internal/trace"
 	"mpppb/internal/workload"
 )
@@ -42,9 +51,11 @@ func main() {
 		capture  = flag.String("capture", "", "segment to capture, e.g. mcf_like-0")
 		n        = flag.Int("n", 1_000_000, "records to capture")
 		out      = flag.String("o", "", "output trace file (with -capture)")
-		stats    = flag.String("stats", "", "trace file to summarize")
+		statsF   = flag.String("stats", "", "trace file to summarize")
 		replay   = flag.String("replay", "", "trace file to simulate")
-		imp      = flag.String("import", "", "CSV trace to convert to binary (with -o)")
+		ingest   = flag.String("ingest", "", "external text trace (CSV/JSONL) to convert to binary (with -o)")
+		format   = flag.String("format", "auto", "-ingest input format: auto, csv or jsonl")
+		imp      = flag.String("import", "", "CSV trace to convert to binary (with -o); older spelling of -ingest -format csv")
 		export   = flag.String("export", "", "binary trace to dump as CSV to stdout")
 		policies = flag.String("policy", "lru,mpppb", "policies for -replay")
 		warmup   = flag.Uint64("warmup", sim.DefaultWarmup, "warmup instructions for -replay")
@@ -66,25 +77,65 @@ func main() {
 	defer obsStop()
 
 	switch {
-	case *imp != "":
+	case *ingest != "" || *imp != "":
+		src, ffmt := *ingest, *format
+		if src == "" {
+			src, ffmt = *imp, "csv"
+		}
 		if *out == "" {
-			fatal("need -o with -import")
+			fatal("need -o with -ingest")
 		}
-		f, err := os.Open(*imp)
+		data, err := os.ReadFile(src)
 		if err != nil {
 			fatal("%v", err)
 		}
-		recs, err := trace.ParseCSV(f)
-		f.Close()
+		f, err := trace.ParseFormat(ffmt)
 		if err != nil {
 			fatal("%v", err)
 		}
-		dst, err := os.Create(*out)
+		// The journal key is the source file's content hash: re-running
+		// the same ingest is a hit, a changed source is a different key,
+		// and a hit only skips work if the output file still carries the
+		// recorded bytes.
+		sum := sha256.Sum256(data)
+		srcHash := hex.EncodeToString(sum[:8])
+		key := "ingest/" + srcHash
+		type ingestConfig struct {
+			Tool   string `json:"tool"`
+			Source string `json:"source"`
+		}
+		type ingestRes struct {
+			Records int    `json:"records"`
+			OutHash string `json:"out_hash"`
+		}
+		fp := journal.Fingerprint{
+			Config:  journal.ConfigHash(ingestConfig{Tool: "mpppb-trace-ingest", Source: srcHash}),
+			Version: journal.BuildVersion(),
+		}
+		jrnl, err := jf.Open(fp)
 		if err != nil {
 			fatal("%v", err)
 		}
-		defer dst.Close()
-		w, err := trace.NewWriter(dst)
+		defer jrnl.Close()
+		status.SetMeta(fp.Config, jf.Path)
+		var prev ingestRes
+		if hit, err := jrnl.Load(key, &prev); err != nil {
+			fatal("%v", err)
+		} else if hit {
+			if cur, err := os.ReadFile(*out); err == nil {
+				curSum := sha256.Sum256(cur)
+				if hex.EncodeToString(curSum[:8]) == prev.OutHash {
+					fmt.Printf("ingested %d records from %s to %s (journal hit)\n", prev.Records, src, *out)
+					return
+				}
+			}
+		}
+		recs, err := trace.Ingest(src, data, f)
+		if err != nil {
+			fatal("%v", err)
+		}
+		var buf bytes.Buffer
+		w, err := trace.NewWriter(&buf)
 		if err != nil {
 			fatal("%v", err)
 		}
@@ -96,7 +147,14 @@ func main() {
 		if err := w.Flush(); err != nil {
 			fatal("%v", err)
 		}
-		fmt.Printf("imported %d CSV records to %s\n", w.Count(), *out)
+		if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+			fatal("%v", err)
+		}
+		outSum := sha256.Sum256(buf.Bytes())
+		if err := jrnl.Record(key, ingestRes{Records: len(recs), OutHash: hex.EncodeToString(outSum[:8])}); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("ingested %d records from %s to %s\n", len(recs), src, *out)
 
 	case *export != "":
 		if err := trace.WriteCSV(os.Stdout, load(*export)); err != nil {
@@ -137,16 +195,18 @@ func main() {
 		fmt.Printf("captured %d records (%d instructions) of %s to %s (%d bytes, %.2f B/record)\n",
 			w.Count(), instr, id, *out, fi.Size(), float64(fi.Size())/float64(w.Count()))
 
-	case *stats != "":
-		recs := load(*stats)
+	case *statsF != "":
+		recs := load(*statsF)
 		var instr, writes uint64
+		blockIDs := make([]uint64, len(recs))
 		blocks := map[uint64]struct{}{}
 		pcs := map[uint64]struct{}{}
-		for _, r := range recs {
+		for i, r := range recs {
 			instr += r.Instructions()
 			if r.IsWrite {
 				writes++
 			}
+			blockIDs[i] = r.Block()
 			blocks[r.Block()] = struct{}{}
 			pcs[r.PC] = struct{}{}
 		}
@@ -156,6 +216,19 @@ func main() {
 		fmt.Printf("distinct PCs:   %d\n", len(pcs))
 		fmt.Printf("footprint:      %d blocks (%.2f MB)\n", len(blocks),
 			float64(len(blocks))*trace.BlockSize/(1<<20))
+		// LRU stack-distance profile: the locality fingerprint the rdmodel
+		// workload family parameterizes on.
+		bounds := []uint64{16, 256, 4096, 65536}
+		counts, cold := stats.ReuseHistogram(blockIDs, bounds, 0)
+		fmt.Printf("reuse distance: ")
+		lo := uint64(0)
+		for i, b := range bounds {
+			fmt.Printf("(%d,%d]=%.1f%% ", lo, b, 100*float64(counts[i])/float64(len(recs)))
+			lo = b
+		}
+		fmt.Printf(">%d=%.1f%% cold=%.1f%%\n", lo,
+			100*float64(counts[len(bounds)])/float64(len(recs)),
+			100*float64(cold)/float64(len(recs)))
 
 	case *replay != "":
 		recs, hash := loadHashed(*replay)

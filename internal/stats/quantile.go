@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Quantile returns the q-quantile of xs (0 <= q <= 1) by linear
+// interpolation between order statistics. xs need not be sorted. An empty
+// slice or an out-of-range q is a panic: both mean the caller's
+// measurement loop is broken, and a silent 0 would corrupt latency
+// reports the same way a silent MPKI would.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: Quantile with q=%g outside [0,1]", q))
+	}
+	sorted := xs
+	if !sort.Float64sAreSorted(xs) {
+		sorted = Sorted(xs)
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo == len(sorted)-1 {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}
+
+// Percentiles returns the requested quantiles of xs, sorting once. Same
+// panics as Quantile.
+func Percentiles(xs []float64, qs ...float64) []float64 {
+	sorted := Sorted(xs)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = Quantile(sorted, q)
+	}
+	return out
+}
+
+// ReuseHistogram computes the exact LRU stack-distance histogram of a
+// block reference stream. The distance of a reference is the number of
+// distinct blocks touched since the previous reference to the same block,
+// counting the block itself — an immediate re-reference has distance 1 —
+// and a first-ever reference is "cold" (infinite distance). bounds are
+// ascending upper edges: counts[i] tallies distances in
+// (bounds[i-1], bounds[i]]; counts[len(bounds)] is the overflow bucket
+// past the last edge. References with index < warmup update the stack but
+// are not counted, so steady-state histograms are not skewed by the empty
+// stack at stream start (the same convention the simulator's warmup uses).
+//
+// The implementation is the classic Bennett-Kruskal counting scheme: a
+// Fenwick tree over reference positions marks each block's most recent
+// occurrence, and a distance is one plus the number of marks strictly
+// between the two occurrences — O(log n) per reference, exact, and
+// independent of how the stream was generated (which makes it a
+// differential oracle for the rdmodel synthesizer).
+func ReuseHistogram(blocks []uint64, bounds []uint64, warmup int) (counts []uint64, cold uint64) {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: ReuseHistogram bounds not ascending")
+		}
+	}
+	counts = make([]uint64, len(bounds)+1)
+	fen := make([]uint64, len(blocks)+1) // 1-based Fenwick tree over positions
+	add := func(i int, d uint64) {
+		for ; i <= len(blocks); i += i & -i {
+			fen[i] += d
+		}
+	}
+	sum := func(i int) uint64 {
+		var s uint64
+		for ; i > 0; i -= i & -i {
+			s += fen[i]
+		}
+		return s
+	}
+	last := make(map[uint64]int, 1024)
+	for t, b := range blocks {
+		pos := t + 1
+		p, seen := last[b]
+		if seen {
+			// Marks strictly between p and pos are blocks accessed since.
+			d := sum(pos-1) - sum(p) + 1
+			if t >= warmup {
+				i := sort.Search(len(bounds), func(i int) bool { return bounds[i] >= d })
+				counts[i]++
+			}
+			add(p, ^uint64(0)) // clear the stale mark (add -1)
+		} else if t >= warmup {
+			cold++
+		}
+		add(pos, 1)
+		last[b] = pos
+	}
+	return counts, cold
+}

@@ -56,14 +56,9 @@ func parseCSVLine(line string) (Record, error) {
 	if err != nil {
 		return Record{}, fmt.Errorf("bad addr %q: %v", fields[1], err)
 	}
-	var isWrite bool
-	switch strings.ToUpper(strings.TrimSpace(fields[2])) {
-	case "R", "L", "0", "LOAD", "READ":
-		isWrite = false
-	case "W", "S", "1", "STORE", "WRITE":
-		isWrite = true
-	default:
-		return Record{}, fmt.Errorf("bad kind %q (want R/W, L/S, or 0/1)", fields[2])
+	isWrite, err := parseKind(fields[2])
+	if err != nil {
+		return Record{}, err
 	}
 	var nonMem uint64
 	if len(fields) == 4 {
@@ -73,6 +68,19 @@ func parseCSVLine(line string) (Record, error) {
 		}
 	}
 	return Record{PC: pc, Addr: addr, IsWrite: isWrite, NonMem: uint16(nonMem)}, nil
+}
+
+// parseKind maps an access-kind token to the store bit; shared by the CSV
+// and JSONL ingestion parsers.
+func parseKind(s string) (bool, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "R", "L", "0", "LOAD", "READ":
+		return false, nil
+	case "W", "S", "1", "STORE", "WRITE":
+		return true, nil
+	default:
+		return false, fmt.Errorf("bad kind %q (want R/W, L/S, or 0/1)", s)
+	}
 }
 
 func parseUint(s string) (uint64, error) {

@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// JSONL trace ingestion: one JSON object per line,
+//
+//	{"pc":"0x400100","addr":"0x7f2a1040","op":"R","nonmem":3}
+//
+// pc and addr accept JSON numbers or 0x-prefixed hex strings; op uses the
+// same vocabulary as the CSV kind column (R/W, L/S, 0/1, LOAD/STORE, ...);
+// nonmem is optional and defaults to 0. Parsing is strict: unknown
+// fields, missing required fields, out-of-range values and trailing
+// garbage on a line are errors with line numbers, never silently skipped
+// records — a trace that parses is a trace that is exactly what the file
+// says.
+
+// jsonUint accepts a JSON number or a decimal/0x-hex string.
+type jsonUint struct {
+	v   uint64
+	set bool
+}
+
+func (u *jsonUint) UnmarshalJSON(b []byte) error {
+	s := string(bytes.TrimSpace(b))
+	if strings.HasPrefix(s, "\"") {
+		var str string
+		if err := json.Unmarshal(b, &str); err != nil {
+			return err
+		}
+		s = str
+	}
+	v, err := parseUint(s)
+	if err != nil {
+		return fmt.Errorf("bad integer %s: %v", string(b), err)
+	}
+	u.v, u.set = v, true
+	return nil
+}
+
+type jsonlRecord struct {
+	PC     jsonUint `json:"pc"`
+	Addr   jsonUint `json:"addr"`
+	Op     string   `json:"op"`
+	NonMem *uint64  `json:"nonmem"`
+}
+
+// ParseJSONL reads a whole JSONL trace. Blank lines are allowed; anything
+// else must be exactly one valid record object.
+func ParseJSONL(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var out []Record
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		rec, err := parseJSONLLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading JSONL: %w", err)
+	}
+	return out, nil
+}
+
+func parseJSONLLine(line []byte) (Record, error) {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	var jr jsonlRecord
+	if err := dec.Decode(&jr); err != nil {
+		return Record{}, err
+	}
+	// One object per line: trailing tokens are corruption, not extra
+	// records.
+	if dec.More() {
+		return Record{}, fmt.Errorf("trailing data after record object")
+	}
+	if !jr.PC.set {
+		return Record{}, fmt.Errorf("missing pc")
+	}
+	if !jr.Addr.set {
+		return Record{}, fmt.Errorf("missing addr")
+	}
+	if jr.Op == "" {
+		return Record{}, fmt.Errorf("missing op")
+	}
+	isWrite, err := parseKind(jr.Op)
+	if err != nil {
+		return Record{}, err
+	}
+	var nonMem uint64
+	if jr.NonMem != nil {
+		nonMem = *jr.NonMem
+		if nonMem > 65535 {
+			return Record{}, fmt.Errorf("nonmem %d out of range", nonMem)
+		}
+	}
+	return Record{PC: jr.PC.v, Addr: jr.Addr.v, IsWrite: isWrite, NonMem: uint16(nonMem)}, nil
+}
+
+// Format identifies an ingestible text-trace format.
+type Format int
+
+// Ingestion formats. FormatAuto detects by file extension (.csv vs
+// .jsonl/.ndjson/.json), falling back to sniffing the first non-blank
+// byte ('{' means JSONL).
+const (
+	FormatAuto Format = iota
+	FormatCSV
+	FormatJSONL
+)
+
+// ParseFormat parses a -format flag value.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "", "auto":
+		return FormatAuto, nil
+	case "csv":
+		return FormatCSV, nil
+	case "jsonl", "ndjson":
+		return FormatJSONL, nil
+	default:
+		return FormatAuto, fmt.Errorf("trace: unknown format %q (want auto, csv or jsonl)", s)
+	}
+}
+
+// detectFormat resolves FormatAuto for a named input.
+func detectFormat(name string, data []byte) Format {
+	switch strings.ToLower(filepath.Ext(name)) {
+	case ".jsonl", ".ndjson", ".json":
+		return FormatJSONL
+	case ".csv":
+		return FormatCSV
+	}
+	if t := bytes.TrimLeft(data, " \t\r\n"); len(t) > 0 && t[0] == '{' {
+		return FormatJSONL
+	}
+	return FormatCSV
+}
+
+// Ingest parses an external text trace (CSV or JSONL) strictly. name is
+// used for format auto-detection and error messages only. An input that
+// parses to zero records is an error: every downstream consumer requires
+// a non-empty trace, and "silently produced nothing" is the failure mode
+// strict parsing exists to prevent.
+func Ingest(name string, data []byte, f Format) ([]Record, error) {
+	if f == FormatAuto {
+		f = detectFormat(name, data)
+	}
+	var recs []Record
+	var err error
+	switch f {
+	case FormatCSV:
+		recs, err = ParseCSV(bytes.NewReader(data))
+	case FormatJSONL:
+		recs, err = ParseJSONL(bytes.NewReader(data))
+	default:
+		return nil, fmt.Errorf("trace: bad format %d", f)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("trace: %s: no records", name)
+	}
+	return recs, nil
+}

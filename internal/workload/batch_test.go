@@ -7,12 +7,13 @@ import (
 )
 
 // TestNextBatchMatchesNextStream proves the batched path delivers exactly
-// the per-record stream for every benchmark in the suite, including with
-// ragged batch sizes that straddle the kernels' internal emit boundaries.
+// the per-record stream for every benchmark — the core suite and the
+// extension families — including with ragged batch sizes that straddle
+// the kernels' internal emit boundaries.
 func TestNextBatchMatchesNextStream(t *testing.T) {
 	const total = 4096
 	sizes := []int{1, 3, 64, 256, 1000}
-	for _, b := range Benchmarks() {
+	for _, b := range AllBenchmarks() {
 		id := SegmentID{Bench: b, Seg: 1}
 		ref := NewGenerator(id, 0)
 		want := make([]trace.Record, total)

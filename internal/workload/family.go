@@ -1,0 +1,94 @@
+package workload
+
+// Extension benchmark families. The core suite is a closed set of 33
+// benchmarks (99 segments) whose membership is pinned by golden tests and
+// by the canonical Mixes list, so new workload families must not grow it.
+// Families register here instead: they get the same bench-N segment
+// naming, the same SegmentsPerBenchmark phases, and resolve through the
+// same Lookup/ParseSegmentID/NewGenerator entry points, so every driver
+// that accepts a benchmark name (mpppb-sim, mpppb-experiments -benches,
+// fleet campaigns, mpppb-serve clients) picks them up with no changes —
+// but Benchmarks(), Segments() and Mixes() keep returning only the core
+// suite, leaving default campaigns and their goldens untouched.
+
+import (
+	"fmt"
+	"sort"
+
+	"mpppb/internal/trace"
+)
+
+// FamilyBenchmark is one extension benchmark: a workload outside the core
+// synthetic suite, contributed by a generator family (weighted-mix,
+// reuse-distance model, external trace). Like a core benchmark it has
+// SegmentsPerBenchmark segments.
+type FamilyBenchmark struct {
+	// Name is the benchmark identifier, e.g. "mix_oltp".
+	Name string
+	// Class describes the family and archetype, e.g. "mix open-loop".
+	Class string
+	// Make builds one segment's generator. The returned generator must
+	// already be named segName(Name, seg) and reset.
+	Make func(seg int, base uint64) trace.Generator
+}
+
+// families holds statically registered extension benchmarks (mix_*, rd_*
+// presets), keyed for fast lookup.
+var families = map[string]FamilyBenchmark{}
+
+// registerFamily adds an extension benchmark at package init time. Name
+// collisions — with the core suite or another family — are programming
+// errors and panic.
+func registerFamily(b FamilyBenchmark) {
+	if b.Make == nil {
+		panic(fmt.Sprintf("workload: family %q has no Make", b.Name))
+	}
+	if coreLookup(b.Name) {
+		panic(fmt.Sprintf("workload: family %q collides with a core benchmark", b.Name))
+	}
+	if _, dup := families[b.Name]; dup {
+		panic(fmt.Sprintf("workload: family %q registered twice", b.Name))
+	}
+	families[b.Name] = b
+}
+
+// A resolver recognizes dynamically named benchmarks that cannot be
+// enumerated — e.g. "trace:<path>" for ingested external traces. It
+// returns the synthesized benchmark and true when the name is its.
+type resolver func(name string) (FamilyBenchmark, bool)
+
+var resolvers []resolver
+
+func registerResolver(r resolver) { resolvers = append(resolvers, r) }
+
+// familyLookup resolves an extension benchmark by name: first the static
+// family registry, then the dynamic resolvers.
+func familyLookup(name string) (FamilyBenchmark, bool) {
+	if b, ok := families[name]; ok {
+		return b, true
+	}
+	for _, r := range resolvers {
+		if b, ok := r(name); ok {
+			return b, true
+		}
+	}
+	return FamilyBenchmark{}, false
+}
+
+// Families returns the names of the registered extension benchmarks,
+// sorted. Dynamically resolved names (trace:<path>) are not included.
+func Families() []string {
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AllBenchmarks returns the core suite followed by the registered
+// families: everything a driver can list by name. Dynamically resolved
+// names (trace:<path>) are not included.
+func AllBenchmarks() []string {
+	return append(Benchmarks(), Families()...)
+}

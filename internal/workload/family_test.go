@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"mpppb/internal/trace"
+)
+
+// familySegments enumerates every registered extension segment, the
+// family analogue of Segments().
+func familySegments() []SegmentID {
+	var ids []SegmentID
+	for _, b := range Families() {
+		for s := 0; s < SegmentsPerBenchmark; s++ {
+			ids = append(ids, SegmentID{Bench: b, Seg: s})
+		}
+	}
+	return ids
+}
+
+func TestFamilyRegistry(t *testing.T) {
+	want := []string{"mix_batch", "mix_frontend", "mix_oltp", "rd_cdn", "rd_kv", "rd_server"}
+	if got := Families(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Families() = %v, want %v", got, want)
+	}
+	// The core suite must be untouched by family registration: 33
+	// benchmarks, and AllBenchmarks is exactly core followed by families.
+	if n := len(Benchmarks()); n != 33 {
+		t.Fatalf("core suite has %d benchmarks after family registration, want 33", n)
+	}
+	all := AllBenchmarks()
+	if len(all) != 33+len(want) {
+		t.Fatalf("AllBenchmarks has %d entries, want %d", len(all), 33+len(want))
+	}
+	if !reflect.DeepEqual(all[33:], want) {
+		t.Fatalf("AllBenchmarks tail = %v, want %v", all[33:], want)
+	}
+	classes := Classes()
+	for _, b := range want {
+		if !Lookup(b) {
+			t.Fatalf("Lookup(%q) = false", b)
+		}
+		if classes[b] == "" {
+			t.Fatalf("family %q has no class", b)
+		}
+	}
+}
+
+func TestFamilyRegistrationCollisionPanics(t *testing.T) {
+	for _, name := range []string{"mix_oltp", "mcf_like"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("duplicate registration of %q did not panic", name)
+				}
+			}()
+			registerFamily(FamilyBenchmark{Name: name, Class: "dup", Make: func(int, uint64) trace.Generator { return nil }})
+		}()
+	}
+}
+
+func TestFamilyParseSegmentID(t *testing.T) {
+	id, err := ParseSegmentID("rd_server-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Bench != "rd_server" || id.Seg != 2 {
+		t.Fatalf("parsed %+v", id)
+	}
+	if _, err := ParseSegmentID("rd_server-3"); err == nil {
+		t.Fatal("out-of-range family segment parsed")
+	}
+	if _, err := ParseSegmentID("mix_nosuch-0"); err == nil {
+		t.Fatal("unknown family benchmark parsed")
+	}
+}
+
+func TestFamilyGeneratorNames(t *testing.T) {
+	for _, id := range familySegments() {
+		g := NewGenerator(id, CoreBase(0))
+		if g.Name() != id.String() {
+			t.Fatalf("generator for %s is named %q", id, g.Name())
+		}
+	}
+}
+
+// TestFamilyGeneratorsDeterministicAndResettable is the family analogue
+// of TestGeneratorsDeterministicAndResettable: two instances agree, and
+// Reset replays the identical stream.
+func TestFamilyGeneratorsDeterministicAndResettable(t *testing.T) {
+	for _, id := range familySegments() {
+		g1 := NewGenerator(id, CoreBase(0))
+		g2 := NewGenerator(id, CoreBase(0))
+		var r1, r2 trace.Record
+		for i := 0; i < 2000; i++ {
+			g1.Next(&r1)
+			g2.Next(&r2)
+			if r1 != r2 {
+				t.Fatalf("%s: two instances diverged at record %d: %+v vs %+v", id, i, r1, r2)
+			}
+		}
+		first := make([]trace.Record, 100)
+		g1.Reset()
+		for i := range first {
+			g1.Next(&first[i])
+		}
+		g1.Reset()
+		for i := range first {
+			g1.Next(&r1)
+			if r1 != first[i] {
+				t.Fatalf("%s: reset did not replay (record %d)", id, i)
+			}
+		}
+	}
+}
+
+func TestFamilyAddressBaseRespected(t *testing.T) {
+	const base = uint64(7) << 40
+	for _, id := range familySegments() {
+		g := NewGenerator(id, base)
+		var r trace.Record
+		for i := 0; i < 500; i++ {
+			g.Next(&r)
+			if r.Addr < base {
+				t.Fatalf("%s: address %#x below base %#x", id, r.Addr, base)
+			}
+		}
+	}
+}
+
+func TestFamilySegmentsDiffer(t *testing.T) {
+	for _, b := range Families() {
+		g0 := NewGenerator(SegmentID{Bench: b, Seg: 0}, 0)
+		g1 := NewGenerator(SegmentID{Bench: b, Seg: 1}, 0)
+		var r0, r1 trace.Record
+		same := 0
+		for i := 0; i < 1000; i++ {
+			g0.Next(&r0)
+			g1.Next(&r1)
+			if r0.Addr == r1.Addr {
+				same++
+			}
+		}
+		if same > 900 {
+			t.Fatalf("%s: segments 0 and 1 nearly identical (%d/1000 same addresses)", b, same)
+		}
+	}
+}

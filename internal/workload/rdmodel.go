@@ -1,0 +1,340 @@
+package workload
+
+import (
+	"strings"
+
+	"mpppb/internal/obs"
+	"mpppb/internal/trace"
+	"mpppb/internal/xrand"
+)
+
+// Reuse-distance-model-driven generator family: a benchmark is a target
+// LRU stack-distance histogram, and the generator synthesizes an address
+// stream whose measured histogram matches it. Reuse-distance histograms
+// are a compact parameterization of locality (arXiv 1907.05068), and
+// cloud/software-cache patterns — short session reuse, mid-range working
+// sets, one-hit-wonder cold tails — are naturally expressed as histograms
+// even when no SPEC-like kernel reproduces them (arXiv 2007.15859).
+//
+// Synthesis draws each access's intended stack distance from the target
+// distribution and re-references the block at exactly that LRU depth via
+// the rstack order-statistic structure, so the achieved histogram tracks
+// the target as soon as the stack has grown deep enough to serve the
+// deepest bucket. The measured-vs-target L1 fit is exported through the
+// obs manifest as mpppb_workload_rd_fit_l1_<segment>.
+
+// RDBucket is one bucket of a reuse-distance histogram: Weight's worth of
+// accesses reuse blocks at stack distances in (previous Hi, Hi]. Distance
+// 1 is an immediate re-reference of the most recently used block.
+type RDBucket struct {
+	Hi     uint64
+	Weight float64
+}
+
+// RDModel is a target reuse-distance histogram plus the cold (compulsory,
+// never-before-referenced) access weight. Weights need not be normalized.
+type RDModel struct {
+	// Buckets in ascending Hi order.
+	Buckets []RDBucket
+	// Cold is the weight of first-ever references (infinite distance).
+	Cold float64
+	// WritePeriod makes every n-th access a store; 0 disables writes.
+	WritePeriod int
+	// FitBound is the declared L1 fit tolerance: the statistical tests
+	// require the measured steady-state histogram within this L1 distance
+	// of the target (L1 over the normalized bucket+cold vector, range
+	// [0,2]).
+	FitBound float64
+}
+
+func (m RDModel) validate() {
+	if len(m.Buckets) == 0 {
+		panic("workload: RDModel with no buckets")
+	}
+	var prev uint64
+	total := m.Cold
+	for _, b := range m.Buckets {
+		if b.Hi <= prev {
+			panic("workload: RDModel bucket bounds not ascending from 1")
+		}
+		if b.Weight < 0 || m.Cold < 0 {
+			panic("workload: RDModel with negative weight")
+		}
+		prev = b.Hi
+		total += b.Weight
+	}
+	if total <= 0 {
+		panic("workload: RDModel with zero total weight")
+	}
+}
+
+// Bounds returns the bucket upper edges, for measuring a stream against
+// the model with stats.ReuseHistogram.
+func (m RDModel) Bounds() []uint64 {
+	out := make([]uint64, len(m.Buckets))
+	for i, b := range m.Buckets {
+		out[i] = b.Hi
+	}
+	return out
+}
+
+// Targets returns the normalized target vector: one entry per bucket,
+// then the cold fraction.
+func (m RDModel) Targets() []float64 {
+	out := make([]float64, len(m.Buckets)+1)
+	total := m.Cold
+	for _, b := range m.Buckets {
+		total += b.Weight
+	}
+	for i, b := range m.Buckets {
+		out[i] = b.Weight / total
+	}
+	out[len(m.Buckets)] = m.Cold / total
+	return out
+}
+
+// MaxDistance returns the deepest bucket edge: the recency stack's
+// capacity and the depth the stream must fill before steady state.
+func (m RDModel) MaxDistance() uint64 { return m.Buckets[len(m.Buckets)-1].Hi }
+
+// L1Fit computes the L1 distance between a measured (counts, cold)
+// histogram — as returned by stats.ReuseHistogram over the model's
+// Bounds() — and the model's target, over normalized vectors. Overflow
+// counts (distances past the deepest bucket, impossible in a synthesized
+// stream but possible in a measured one) are included against a target of
+// zero.
+func (m RDModel) L1Fit(counts []uint64, cold uint64) float64 {
+	var total uint64 = cold
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 2 // no data: maximally bad
+	}
+	target := m.Targets()
+	fit := 0.0
+	for i, c := range counts {
+		measured := float64(c) / float64(total)
+		want := 0.0
+		if i < len(m.Buckets) {
+			want = target[i]
+		}
+		fit += abs(measured - want)
+	}
+	fit += abs(float64(cold)/float64(total) - target[len(m.Buckets)])
+	return fit
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// RDGen synthesizes a stream matching an RDModel. It satisfies
+// trace.BatchGenerator through the embedded Gen chassis.
+type RDGen struct {
+	*Gen
+	model RDModel
+	cdf   []float64 // per-bucket cumulative probability; cold is the remainder
+	seed  uint64
+	base  uint64
+	rng   *xrand.RNG
+	stack *rstack
+
+	nextBlock uint64
+	measured  []uint64 // achieved distances per bucket
+	cold      uint64
+	emitted   uint64
+	fitGauge  *obs.FloatGauge
+}
+
+// fitEvery is how often (in accesses) the fit gauge refreshes.
+const fitEvery = 4096
+
+// NewRD builds a reuse-distance-model generator at a seed and address
+// base.
+func NewRD(name string, seed, base uint64, model RDModel) *RDGen {
+	model.validate()
+	target := model.Targets()
+	cdf := make([]float64, len(model.Buckets))
+	sum := 0.0
+	for i := range model.Buckets {
+		sum += target[i]
+		cdf[i] = sum
+	}
+	g := newGen(name, 2)
+	r := &RDGen{
+		Gen:      g,
+		model:    model,
+		cdf:      cdf,
+		seed:     seed,
+		base:     base,
+		rng:      xrand.New(seed),
+		stack:    newRStack(seed+1, int(model.MaxDistance())+1),
+		measured: make([]uint64, len(model.Buckets)),
+	}
+	g.step = r.step
+	g.reset = r.resetState
+	return r
+}
+
+// step emits one access at a stack distance drawn from the target
+// histogram.
+func (r *RDGen) step() {
+	u := r.rng.Float64()
+	// Bucket choice: binary search the cdf; u past the last entry is a
+	// cold access.
+	lo, hi := 0, len(r.cdf)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	bucket := lo
+	var block uint64
+	if bucket == len(r.cdf) || r.stack.Len() == 0 {
+		// Cold: a fresh, never-referenced block.
+		block = r.nextBlock
+		r.nextBlock++
+		r.cold++
+		bucket = len(r.cdf)
+	} else {
+		// Reuse at a distance uniform within the bucket, clamped to the
+		// stack's current depth (only reachable before the stack fills).
+		blo := uint64(0)
+		if bucket > 0 {
+			blo = r.model.Buckets[bucket-1].Hi
+		}
+		bhi := r.model.Buckets[bucket].Hi
+		d := blo + 1 + r.rng.Uint64n(bhi-blo)
+		if n := uint64(r.stack.Len()); d > n {
+			d = n
+		}
+		block = r.stack.TakeAt(int(d - 1))
+		// Account the achieved distance, which the clamp may have moved
+		// to a shallower bucket.
+		a := 0
+		for a < len(r.model.Buckets)-1 && r.model.Buckets[a].Hi < d {
+			a++
+		}
+		r.measured[a]++
+	}
+	r.stack.PushFront(block)
+	if uint64(r.stack.Len()) > r.model.MaxDistance() {
+		r.stack.DropLast()
+	}
+	// Stable PC per reuse class: the predictor's PC features see "cold
+	// scan" vs "hot reuse" call sites, like real software caches.
+	pc := pcBase(r.base, 0) + uint64(bucket)*8
+	write := r.model.WritePeriod > 0 && r.emitted%uint64(r.model.WritePeriod) == 0
+	r.emit(pc, r.base+block*trace.BlockSize+(block%8)*8, write)
+	r.emitted++
+	if r.emitted%fitEvery == 0 && r.fitGauge != nil {
+		r.fitGauge.Set(r.Fit())
+	}
+}
+
+func (r *RDGen) resetState() {
+	r.rng.Seed(r.seed)
+	r.stack.Reset()
+	r.nextBlock = 0
+	for i := range r.measured {
+		r.measured[i] = 0
+	}
+	r.cold = 0
+	r.emitted = 0
+}
+
+// Model returns the generator's target model.
+func (r *RDGen) Model() RDModel { return r.model }
+
+// Fit returns the online measured-vs-target L1 fit over everything
+// emitted since the last Reset. It converges toward 0 as the run leaves
+// the cold-start region (the stack must fill to MaxDistance before deep
+// buckets are reachable); the property tests measure steady state with an
+// explicit warmup instead.
+func (r *RDGen) Fit() float64 { return r.model.L1Fit(r.measured, r.cold) }
+
+var _ trace.BatchGenerator = (*RDGen)(nil)
+
+// fitMetricName derives the obs gauge name for a segment's fit metric,
+// mapping the segment separator to the metric-name alphabet.
+func fitMetricName(segment string) string {
+	return "mpppb_workload_rd_fit_l1_" + strings.ReplaceAll(segment, "-", "_")
+}
+
+// rdFamily wraps a preset model as a registered extension benchmark. The
+// per-segment phase multiplier scales bucket depths (the working-set
+// analogue of the core suite's footprint scaling).
+func rdFamily(name, class string, model RDModel) FamilyBenchmark {
+	return FamilyBenchmark{Name: name, Class: class, Make: func(seg int, base uint64) trace.Generator {
+		scaled := model
+		scaled.Buckets = make([]RDBucket, len(model.Buckets))
+		prev := uint64(0)
+		for i, b := range model.Buckets {
+			hi := scale(seg, b.Hi)
+			if hi <= prev { // keep edges strictly ascending after scaling
+				hi = prev + 1
+			}
+			scaled.Buckets[i] = RDBucket{Hi: hi, Weight: b.Weight}
+			prev = hi
+		}
+		g := NewRD(segName(name, seg), seedFor(name, seg), base, scaled)
+		g.fitGauge = obs.Default().FloatGauge(fitMetricName(g.Name()),
+			"measured-vs-target reuse-distance L1 fit of "+g.Name())
+		g.Reset()
+		return g
+	}}
+}
+
+// The rd presets: server, KV and CDN locality profiles. Depths are in
+// blocks (64B); the deepest edges sit at a few hundred KB to a few MB of
+// distinct blocks, around the 2MB LLC. FitBound is the declared tolerance
+// the statistical tests enforce per preset.
+func init() {
+	// rd_server: application-server heap — strong short-range reuse
+	// (request-local state), a mid-range session working set, and a
+	// modest cold stream of new requests.
+	registerFamily(rdFamily("rd_server", "rd-model server", RDModel{
+		Buckets: []RDBucket{
+			{Hi: 16, Weight: 0.30},
+			{Hi: 256, Weight: 0.25},
+			{Hi: 1024, Weight: 0.18},
+			{Hi: 4096, Weight: 0.15},
+		},
+		Cold:        0.12,
+		WritePeriod: 7,
+		FitBound:    0.08,
+	}))
+	// rd_kv: key-value store — zipf-ish hot keys (very short distances)
+	// plus a heavy mid/deep tail of warm keys.
+	registerFamily(rdFamily("rd_kv", "rd-model kv-store", RDModel{
+		Buckets: []RDBucket{
+			{Hi: 8, Weight: 0.35},
+			{Hi: 128, Weight: 0.20},
+			{Hi: 2048, Weight: 0.20},
+			{Hi: 8192, Weight: 0.17},
+		},
+		Cold:        0.08,
+		WritePeriod: 5,
+		FitBound:    0.08,
+	}))
+	// rd_cdn: edge cache — a large one-hit-wonder cold fraction (the
+	// classic CDN pattern and the bypass opportunity), shallow reuse for
+	// hot objects.
+	registerFamily(rdFamily("rd_cdn", "rd-model cdn", RDModel{
+		Buckets: []RDBucket{
+			{Hi: 32, Weight: 0.30},
+			{Hi: 512, Weight: 0.20},
+			{Hi: 4096, Weight: 0.15},
+		},
+		Cold:        0.35,
+		WritePeriod: 0,
+		FitBound:    0.08,
+	}))
+}

@@ -1,0 +1,146 @@
+package workload
+
+import "mpppb/internal/xrand"
+
+// rstack is the rdmodel synthesizer's recency stack: an LRU ordering of
+// blocks supporting select-by-rank and move-to-front in O(log n). A plain
+// move-to-front slice makes deep reuses O(distance) memmoves, which is
+// quadratic for histogram tails thousands of blocks deep; this is an
+// implicit treap ordered by recency (rank 0 = most recent), stored as
+// struct-of-arrays with uint32 node indices and a free list, the same
+// index-not-pointer layout the hot-path cache sets use.
+type rstack struct {
+	left, right []uint32
+	size        []uint32
+	prio        []uint64
+	block       []uint64
+	root        uint32
+	free        []uint32
+	rng         *xrand.RNG // treap priorities; deterministic per seed
+	seed        uint64
+}
+
+// rnil is the null node index.
+const rnil = ^uint32(0)
+
+func newRStack(seed uint64, capHint int) *rstack {
+	s := &rstack{root: rnil, rng: xrand.New(seed), seed: seed}
+	s.left = make([]uint32, 0, capHint)
+	s.right = make([]uint32, 0, capHint)
+	s.size = make([]uint32, 0, capHint)
+	s.prio = make([]uint64, 0, capHint)
+	s.block = make([]uint64, 0, capHint)
+	return s
+}
+
+// Len returns the number of blocks on the stack.
+func (s *rstack) Len() int {
+	if s.root == rnil {
+		return 0
+	}
+	return int(s.size[s.root])
+}
+
+// Reset empties the stack and restarts the priority stream.
+func (s *rstack) Reset() {
+	s.left = s.left[:0]
+	s.right = s.right[:0]
+	s.size = s.size[:0]
+	s.prio = s.prio[:0]
+	s.block = s.block[:0]
+	s.free = s.free[:0]
+	s.root = rnil
+	s.rng.Seed(s.seed)
+}
+
+func (s *rstack) alloc(block uint64) uint32 {
+	if n := len(s.free); n > 0 {
+		i := s.free[n-1]
+		s.free = s.free[:n-1]
+		s.left[i], s.right[i], s.size[i] = rnil, rnil, 1
+		s.prio[i] = s.rng.Uint64()
+		s.block[i] = block
+		return i
+	}
+	i := uint32(len(s.left))
+	s.left = append(s.left, rnil)
+	s.right = append(s.right, rnil)
+	s.size = append(s.size, 1)
+	s.prio = append(s.prio, s.rng.Uint64())
+	s.block = append(s.block, block)
+	return i
+}
+
+func (s *rstack) nsize(n uint32) uint32 {
+	if n == rnil {
+		return 0
+	}
+	return s.size[n]
+}
+
+func (s *rstack) upd(n uint32) {
+	s.size[n] = 1 + s.nsize(s.left[n]) + s.nsize(s.right[n])
+}
+
+func (s *rstack) merge(a, b uint32) uint32 {
+	if a == rnil {
+		return b
+	}
+	if b == rnil {
+		return a
+	}
+	if s.prio[a] > s.prio[b] {
+		s.right[a] = s.merge(s.right[a], b)
+		s.upd(a)
+		return a
+	}
+	s.left[b] = s.merge(a, s.left[b])
+	s.upd(b)
+	return b
+}
+
+// split divides the subtree at n into its first k nodes (by rank) and the
+// rest.
+func (s *rstack) split(n uint32, k uint32) (uint32, uint32) {
+	if n == rnil {
+		return rnil, rnil
+	}
+	if ls := s.nsize(s.left[n]); ls >= k {
+		l, r := s.split(s.left[n], k)
+		s.left[n] = r
+		s.upd(n)
+		return l, n
+	} else {
+		l, r := s.split(s.right[n], k-ls-1)
+		s.right[n] = l
+		s.upd(n)
+		return n, r
+	}
+}
+
+// PushFront puts a block at rank 0 (most recently used).
+func (s *rstack) PushFront(block uint64) {
+	s.root = s.merge(s.alloc(block), s.root)
+}
+
+// TakeAt removes and returns the block at the given rank (0 = MRU). The
+// rank must be in range.
+func (s *rstack) TakeAt(rank int) uint64 {
+	l, r := s.split(s.root, uint32(rank))
+	m, r2 := s.split(r, 1)
+	s.root = s.merge(l, r2)
+	b := s.block[m]
+	s.free = append(s.free, m)
+	return b
+}
+
+// DropLast evicts the least recently used block, bounding the stack. A
+// no-op on an empty stack.
+func (s *rstack) DropLast() {
+	if s.root == rnil {
+		return
+	}
+	l, m := s.split(s.root, s.nsize(s.root)-1)
+	s.root = l
+	s.free = append(s.free, m)
+}

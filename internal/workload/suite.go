@@ -207,11 +207,15 @@ func Benchmarks() []string {
 	return names
 }
 
-// Classes returns a map from benchmark name to archetype class.
+// Classes returns a map from benchmark name to archetype class, covering
+// the core suite and the registered extension families.
 func Classes() map[string]string {
-	m := make(map[string]string, len(suite))
+	m := make(map[string]string, len(suite)+len(families))
 	for _, b := range suite {
 		m[b.Name] = b.Class
+	}
+	for name, b := range families {
+		m[name] = b.Class
 	}
 	return m
 }
@@ -239,18 +243,21 @@ func Segments() []SegmentID {
 // NewGenerator builds the trace generator for a segment, placing its
 // address footprint at the given base. Multi-programmed drivers give each
 // core a disjoint base. It panics on unknown benchmarks (programming
-// error: names come from Benchmarks/Segments).
+// error: names come from Benchmarks/Segments or passed ParseSegmentID).
 func NewGenerator(id SegmentID, base uint64) trace.Generator {
+	if id.Seg < 0 || id.Seg >= SegmentsPerBenchmark {
+		panic(fmt.Sprintf("workload: segment %d out of range for %s", id.Seg, id.Bench))
+	}
 	for _, b := range suite {
 		if b.Name == id.Bench {
-			if id.Seg < 0 || id.Seg >= SegmentsPerBenchmark {
-				panic(fmt.Sprintf("workload: segment %d out of range for %s", id.Seg, id.Bench))
-			}
 			g := b.make(id.Seg, seedFor(b.Name, id.Seg), base)
 			g.name = id.String()
 			g.Reset()
 			return g
 		}
+	}
+	if fb, ok := familyLookup(id.Bench); ok {
+		return fb.Make(id.Seg, base)
 	}
 	panic(fmt.Sprintf("workload: unknown benchmark %q", id.Bench))
 }
@@ -272,8 +279,19 @@ func ParseSegmentID(s string) (SegmentID, error) {
 	return SegmentID{Bench: bench, Seg: seg}, nil
 }
 
-// Lookup reports whether a benchmark exists.
+// Lookup reports whether a benchmark exists, in the core suite or in a
+// registered extension family (including dynamically resolved names such
+// as "trace:<path>").
 func Lookup(name string) bool {
+	if coreLookup(name) {
+		return true
+	}
+	_, ok := familyLookup(name)
+	return ok
+}
+
+// coreLookup reports whether a benchmark is in the core 33-entry suite.
+func coreLookup(name string) bool {
 	for _, b := range suite {
 		if b.Name == name {
 			return true

@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mpppb/internal/trace"
+)
+
+// writeTestTrace captures records from a core segment into a binary trace
+// file and returns the path plus the raw records.
+func writeTestTrace(t *testing.T, n int) (string, []trace.Record) {
+	t.Helper()
+	g := NewGenerator(SegmentID{Bench: "gcc_like", Seg: 0}, 0)
+	recs := trace.Capture(g, n)
+	path := filepath.Join(t.TempDir(), "test.trc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, recs
+}
+
+func TestTraceFamilyResolves(t *testing.T) {
+	path, recs := writeTestTrace(t, 1001)
+	name := "trace:" + path
+
+	if !Lookup(name) {
+		t.Fatalf("Lookup(%q) = false", name)
+	}
+	if Lookup("trace:" + path + ".nosuch") {
+		t.Fatal("nonexistent trace file resolved")
+	}
+	id, err := ParseSegmentID(name + "-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Bench != name || id.Seg != 2 {
+		t.Fatalf("parsed %+v", id)
+	}
+
+	// Segment 0 replays the full trace, rebased into the core region:
+	// low address bits preserved, base bits applied.
+	base := CoreBase(0)
+	g := NewGenerator(SegmentID{Bench: name, Seg: 0}, base)
+	if g.Name() != name+"-0" {
+		t.Fatalf("name = %q", g.Name())
+	}
+	var rec trace.Record
+	for i := 0; i < len(recs); i++ {
+		g.Next(&rec)
+		want := recs[i]
+		if rec.PC != want.PC || rec.IsWrite != want.IsWrite || rec.NonMem != want.NonMem {
+			t.Fatalf("record %d: %+v, want %+v", i, rec, want)
+		}
+		if rec.Addr != base|(want.Addr&(1<<traceAddrBits-1)) {
+			t.Fatalf("record %d: addr %#x not rebased from %#x", i, rec.Addr, want.Addr)
+		}
+	}
+	// The stream wraps (generators are infinite).
+	g.Next(&rec)
+	if rec.PC != recs[0].PC {
+		t.Fatalf("wrap record PC %#x, want %#x", rec.PC, recs[0].PC)
+	}
+}
+
+func TestTraceFamilySegmentsArePhaseSlices(t *testing.T) {
+	path, recs := writeTestTrace(t, 1000)
+	name := "trace:" + path
+	half := len(recs) / 2
+
+	var rec trace.Record
+	g1 := NewGenerator(SegmentID{Bench: name, Seg: 1}, 0)
+	for i := 0; i < half+1; i++ {
+		g1.Next(&rec)
+	}
+	// After half records, segment 1 has wrapped back to the front half.
+	if rec.PC != recs[0].PC || rec.NonMem != recs[0].NonMem {
+		t.Fatalf("segment 1 did not wrap at the half: %+v vs %+v", rec, recs[0])
+	}
+
+	g2 := NewGenerator(SegmentID{Bench: name, Seg: 2}, 0)
+	g2.Next(&rec)
+	if rec.PC != recs[half].PC || rec.NonMem != recs[half].NonMem {
+		t.Fatalf("segment 2 does not start at the half: %+v vs %+v", rec, recs[half])
+	}
+}
+
+func TestTraceFamilyBatchMatchesNext(t *testing.T) {
+	path, _ := writeTestTrace(t, 509) // prime length: batches straddle wraps
+	name := "trace:" + path
+	id := SegmentID{Bench: name, Seg: 0}
+	const total = 2000
+
+	ref := NewGenerator(id, CoreBase(1))
+	want := make([]trace.Record, total)
+	for i := range want {
+		ref.Next(&want[i])
+	}
+	for _, sz := range []int{1, 3, 64, 256} {
+		g := NewGenerator(id, CoreBase(1))
+		got := make([]trace.Record, 0, total)
+		buf := make([]trace.Record, sz)
+		for len(got) < total {
+			n := trace.FillBatch(g, buf)
+			if n <= 0 {
+				t.Fatalf("FillBatch returned %d", n)
+			}
+			got = append(got, buf[:n]...)
+		}
+		for i := 0; i < total; i++ {
+			if got[i] != want[i] {
+				t.Fatalf("batch %d: record %d = %+v, want %+v", sz, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Reset replays identically, and two generators share the memoized
+	// decode without disturbing each other.
+	a := NewGenerator(id, 0)
+	b := NewGenerator(id, 0)
+	var ra, rb trace.Record
+	a.Next(&ra)
+	for i := 0; i < 300; i++ {
+		b.Next(&rb)
+	}
+	a.Reset()
+	a.Next(&ra)
+	b.Reset()
+	b.Next(&rb)
+	if ra != rb {
+		t.Fatalf("shared-decode cursors disagree after Reset: %+v vs %+v", ra, rb)
+	}
+}
