@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-hotpath bench-record bench-regress experiments results resume-smoke watch-smoke serve-smoke check-smoke fleet-smoke ingest-smoke cover fuzz clean
+.PHONY: all build test vet race bench bench-hotpath bench-record bench-regress experiments results resume-smoke watch-smoke serve-smoke check-smoke fleet-smoke ingest-smoke adaptive-smoke cover fuzz clean
 
 all: build test
 
@@ -18,10 +18,11 @@ test: vet
 
 # Race-detector pass over the concurrent packages: the worker pool, the
 # single-flight caches, the experiment drivers that fan across them, the
-# observability layer their workers all update, and the advice server's
-# concurrent client soak.
+# observability layer their workers all update, the advice server's
+# concurrent client soak, and the core package whose adaptive-duel
+# gauges those concurrent workers now publish.
 race:
-	$(GO) test -race ./internal/parallel ./internal/sim ./internal/experiments ./internal/obs ./internal/serve ./internal/fleet
+	$(GO) test -race ./internal/parallel ./internal/sim ./internal/experiments ./internal/obs ./internal/serve ./internal/fleet ./internal/core
 
 # Scaled-down reproduction of every figure/table as Go benchmarks.
 bench:
@@ -87,6 +88,13 @@ fleet-smoke:
 # benchmark (see scripts/ingest_smoke.sh).
 ingest-smoke:
 	scripts/ingest_smoke.sh
+
+# End-to-end adaptive-threshold duel: a figadapt campaign byte-identical
+# plain vs -check (reference duel armed) vs -listen (mpppb_adaptive_*
+# gauges scraped live), plus the mpppb-tune → -duel spec round trip
+# (see scripts/adaptive_smoke.sh).
+adaptive-smoke:
+	scripts/adaptive_smoke.sh
 
 # Coverage gate: per-package report plus a total-% floor
 # (see scripts/cover.sh; override with COVER_BASELINE=<pct>).

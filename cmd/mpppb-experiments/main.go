@@ -69,6 +69,7 @@ type runner struct {
 	climbSteps   int
 	rocSegs      int
 	table3Segs   int
+	adaptSeeds   int
 	// opts carries cancellation, checkpointing, fault handling and
 	// progress into every experiment; nil means all defaults.
 	opts       *experiments.Run
@@ -98,6 +99,8 @@ type fingerprintConfig struct {
 	Climb      int      `json:"climb"`
 	ROCSegs    int      `json:"roc_segments"`
 	T3Segs     int      `json:"table3_segments"`
+	AdaptSeeds int      `json:"adapt_seeds"`
+	Duel       string   `json:"duel,omitempty"`
 	STPolicies []string `json:"st_policies"`
 	MCPolicies []string `json:"mc_policies"`
 	Benches    []string `json:"benches"`
@@ -116,7 +119,7 @@ func (r *runner) chart(w io.Writer, rendered string) {
 
 func main() {
 	var (
-		id      = flag.String("id", "all", "experiment id: fig3..fig10, table1, table3, or 'all'")
+		id      = flag.String("id", "all", "experiment id: fig3..fig10, figadapt, table1, table3, or 'all'")
 		out     = flag.String("out", "", "directory for <id>.tsv files (default: stdout)")
 		warmup  = flag.Uint64("warmup", sim.DefaultWarmup, "warmup instructions per run")
 		measure = flag.Uint64("measure", sim.DefaultMeasure, "measured instructions per run")
@@ -125,6 +128,8 @@ func main() {
 		nRandom = flag.Int("random", 40, "random feature sets for fig3")
 		climb   = flag.Int("climb", 60, "hill-climb proposals for fig3")
 		rocSegs = flag.Int("roc-segments", 33, "segments pooled per predictor for fig8")
+		aSeeds  = flag.Int("adapt-seeds", 3, "seeds (distinct reference streams) per segment for figadapt")
+		duel    = flag.String("duel", "", "override mpppb-adaptive duel candidates: ';'-separated threshold specs (the 'duel:' line mpppb-tune prints)")
 		t3Segs  = flag.Int("table3-segments", 33, "segments for table3 leave-one-out")
 		quiet   = flag.Bool("q", false, "suppress progress output")
 		charts  = flag.Bool("plot", false, "append ASCII charts as comment lines")
@@ -154,6 +159,7 @@ func main() {
 		climbSteps:  *climb,
 		rocSegs:     *rocSegs,
 		table3Segs:  *t3Segs,
+		adaptSeeds:  *aSeeds,
 	}
 	r.stCfg.Warmup, r.stCfg.Measure = *warmup, *measure
 	r.mcCfg.Warmup, r.mcCfg.Measure = *warmup, *measure
@@ -168,6 +174,14 @@ func main() {
 		r.mcPolicies = strings.Split(*mcPols, ",")
 	} else {
 		r.mcPolicies = experiments.DefaultMultiCorePolicies()
+	}
+	if *duel != "" {
+		cands, err := core.ParseDuelCandidates(*duel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpppb-experiments: -duel: %v\n", err)
+			os.Exit(1)
+		}
+		sim.SetDuelCandidates(cands)
 	}
 	if *benches != "" {
 		r.stBenches = strings.Split(*benches, ",")
@@ -189,6 +203,8 @@ func main() {
 			Climb:      *climb,
 			ROCSegs:    *rocSegs,
 			T3Segs:     *t3Segs,
+			AdaptSeeds: *aSeeds,
+			Duel:       *duel,
 			STPolicies: r.stPolicies,
 			MCPolicies: r.mcPolicies,
 			Benches:    r.stBenches,
@@ -275,7 +291,7 @@ func main() {
 		}
 	}
 
-	all := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table1", "table3"}
+	all := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "figadapt", "table1", "table3"}
 	ids := []string{*id}
 	if *id == "all" {
 		ids = all
@@ -507,6 +523,41 @@ func (r *runner) run(id string) error {
 			labels[i] = f.String()
 		}
 		r.chart(w, plot.Bars("Figure 10: weighted speedup with feature omitted", 40, labels, res.OmittedWS))
+
+	case "figadapt":
+		// Adaptive-vs-static S-curve: every fig6 segment under the
+		// offline-tuned default thresholds and the online set-dueling
+		// variant, across -adapt-seeds address-placement bases. The mpppb-
+		// tune tool is the offline oracle for the same decision: its
+		// per-segment winners, fed back in via -duel, are what the online
+		// duel approximates without retuning.
+		segs := workload.Segments()
+		if r.stBenches != nil {
+			segs = segs[:0]
+			for _, b := range r.stBenches {
+				for s := 0; s < workload.SegmentsPerBenchmark; s++ {
+					segs = append(segs, workload.SegmentID{Bench: b, Seg: s})
+				}
+			}
+		}
+		t, err := experiments.AdaptiveVsStatic(r.stCfg, "mpppb", "mpppb-adaptive", segs, r.adaptSeeds, r.opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "# figadapt: %s vs %s MPKI, %d seeds/segment. not-worse: %d/%d segments (ties count)\n",
+			t.AdaptivePolicy, t.StaticPolicy, t.Seeds, t.NotWorse, len(t.Rows))
+		fmt.Fprintln(w, "rank\tsegment\tstatic_mean\tstatic_min\tstatic_max\tstatic_stddev\tadaptive_mean\tadaptive_min\tadaptive_max\tadaptive_stddev\tratio")
+		ratios := make([]float64, len(t.Rows))
+		for i, row := range t.Rows {
+			fmt.Fprintf(w, "%d\t%s\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\t%.6f\n",
+				i, row.Segment,
+				row.Static.Mean, row.Static.Min, row.Static.Max, row.Static.Stddev,
+				row.Adaptive.Mean, row.Adaptive.Min, row.Adaptive.Max, row.Adaptive.Stddev,
+				row.Ratio)
+			ratios[i] = row.Ratio
+		}
+		r.chart(w, plot.Lines("figadapt: adaptive/static MPKI ratio, segments sorted", 60, 12,
+			plot.Series{Name: "ratio", Y: ratios}))
 
 	case "table1", "table2":
 		fmt.Fprintln(w, "# Table 1(a), Table 1(b), Table 2: the paper's feature sets as compiled in.")

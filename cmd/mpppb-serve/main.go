@@ -39,7 +39,7 @@ func main() {
 	var (
 		addr    = flag.String("addr", "127.0.0.1:9417", "server mode: TCP listen address")
 		connect = flag.String("connect", "", "client mode: server address to stream events to")
-		mode    = flag.String("mode", "st", "predictor configuration: st (single-thread), mc (multi-core), table2")
+		mode    = flag.String("mode", "st", "predictor configuration: st (single-thread), mc (multi-core), table2, adaptive (st with online threshold dueling)")
 		sets    = flag.Int("sets", 2048, "LLC sets each predictor instance models (power of two)")
 		ways    = flag.Int("ways", 16, "LLC ways of the client-side annotation model")
 		shards  = flag.Int("shards", 4, "server mode: shard workers client instances are hash-routed across")
@@ -79,8 +79,13 @@ func paramsFor(mode string) (core.Params, error) {
 		return core.MultiCoreParams(), nil
 	case "table2":
 		return core.Table2Params(), nil
+	case "adaptive":
+		// The duel seam lives on Params, so serving adaptive advisors
+		// needs no changes anywhere else: every shard's Advisor runs its
+		// own duel, and -check shadows it with the reference duel.
+		return core.AdaptiveSingleThreadParams(), nil
 	default:
-		return core.Params{}, fmt.Errorf("unknown -mode %q (want st, mc, or table2)", mode)
+		return core.Params{}, fmt.Errorf("unknown -mode %q (want st, mc, table2, or adaptive)", mode)
 	}
 }
 

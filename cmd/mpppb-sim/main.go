@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"mpppb"
+	"mpppb/internal/core"
 	"mpppb/internal/journal"
 	"mpppb/internal/obs"
 	"mpppb/internal/parallel"
@@ -45,6 +46,7 @@ func main() {
 		check    = flag.Bool("check", false, "run the lockstep verification layer on every cache (slow; a divergence aborts with the access index and set dump)")
 		list     = flag.Bool("list", false, "list benchmarks and policies, then exit")
 		verbose  = flag.Bool("v", false, "after mpppb runs, print decision counters and per-feature weight statistics")
+		duel     = flag.String("duel", "", "override mpppb-adaptive duel candidates: ';'-separated threshold specs (the 'duel:' line mpppb-tune prints)")
 		j        = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for independent runs (1 = serial)")
 	)
 	jf := journal.RegisterFlags(flag.CommandLine)
@@ -68,6 +70,15 @@ func main() {
 	cfg.Warmup = *warmup
 	cfg.Measure = *measure
 	cfg.Check = *check
+
+	if *duel != "" {
+		cands, err := core.ParseDuelCandidates(*duel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpppb-sim: -duel: %v\n", err)
+			os.Exit(1)
+		}
+		sim.SetDuelCandidates(cands)
+	}
 
 	var benches []string
 	if *bench == "all" {
@@ -93,6 +104,7 @@ func main() {
 		Warmup  uint64 `json:"warmup"`
 		Measure uint64 `json:"measure"`
 		Verbose bool   `json:"verbose"`
+		Duel    string `json:"duel,omitempty"`
 	}
 	fp := journal.Fingerprint{
 		Config: journal.ConfigHash(fingerprintConfig{
@@ -100,6 +112,7 @@ func main() {
 			Warmup:  *warmup,
 			Measure: *measure,
 			Verbose: *verbose,
+			Duel:    *duel,
 		}),
 		Version: journal.BuildVersion(),
 	}

@@ -143,6 +143,11 @@ func main() {
 		fmt.Printf("baseline MPKI %.4f -> tuned %.4f\n", base, bestMPKI)
 		fmt.Printf("Tau0: %d\nTau1: %d\nTau2: %d\nTau3: %d\nTau4: %d\nPi:   %v\n",
 			best.Tau0, best.Tau1, best.Tau2, best.Tau3, best.Tau4, best.Pi)
+		// The compact spec feeds straight back into the online duel:
+		// collect several tunes' specs ';'-separated into -duel on
+		// mpppb-sim or mpppb-experiments, and mpppb-adaptive duels them
+		// at runtime instead of trusting any single offline winner.
+		fmt.Printf("duel: %s\n", best.Thresholds())
 		return nil
 	}()
 	if err != nil {

@@ -46,6 +46,12 @@ type Advisor struct {
 	pred    *Predictor
 	sampler *sampler
 
+	// static is the fixed threshold configuration (params.Thresholds());
+	// duel is non-nil in adaptive mode, where per-set leader candidates
+	// and the duel winner replace it (see thresholdsFor).
+	static ThresholdSet
+	duel   *duelState
+
 	// Decision counters. Exported (and promoted through MPPPB) so drivers
 	// and tests can read them directly.
 	Bypasses    uint64
@@ -60,12 +66,20 @@ func NewAdvisor(sets int, params Params) *Advisor {
 	if len(params.Features) == 0 {
 		panic("core: advisor requires a feature set")
 	}
-	return &Advisor{
+	if err := params.Validate(); err != nil {
+		panic("core: " + err.Error())
+	}
+	v := &Advisor{
 		params:  params,
 		sets:    sets,
 		pred:    NewPredictor(params.Features, sets, max(1, params.Cores)),
 		sampler: newSampler(sets, params.SamplerSets, params.Features, params.Theta),
+		static:  params.Thresholds(),
 	}
+	if params.Duel != nil {
+		v.duel = newDuelState(sets, params)
+	}
+	return v
 }
 
 // Predictor exposes the underlying predictor (for accuracy probes and the
@@ -109,19 +123,12 @@ func (v *Advisor) train(a cache.Access, set, conf int) {
 	}
 }
 
-// placement maps a confidence value to a recency position per Section 3.6.
-// slot indexes the Placements statistic (0 = MRU).
+// placement maps a confidence value to a recency position under the
+// static thresholds (duel candidate 0 in adaptive mode); per-set adaptive
+// decisions go through thresholdsFor instead. Kept for threshold-mapping
+// tests and probes.
 func (v *Advisor) placement(conf int) (pos, slot int) {
-	switch {
-	case conf > v.params.Tau1:
-		return v.params.Pi[0], 1
-	case conf > v.params.Tau2:
-		return v.params.Pi[1], 2
-	case conf > v.params.Tau3:
-		return v.params.Pi[2], 3
-	default:
-		return 0, 0 // most-recently-used position
-	}
+	return v.static.placement(conf)
 }
 
 // AdviseHit is the hit-side decision (Section 3.6: "On a cache hit, if the
@@ -134,12 +141,13 @@ func (v *Advisor) AdviseHit(a cache.Access, set int) Advice {
 		return Advice{}
 	}
 	conf := v.predictAndTrain(a, set, false)
+	ts := v.thresholdsFor(set)
 	adv := Advice{Conf: int16(conf)}
-	if conf > v.params.Tau4 {
+	if conf > ts.Tau4 {
 		v.NoPromotes++
 	} else {
 		adv.Promote = true
-		adv.Pos = int8(v.params.PromotePos)
+		adv.Pos = int8(ts.PromotePos)
 	}
 	v.pred.observe(a, set, false, true)
 	return adv
@@ -150,20 +158,24 @@ func (v *Advisor) AdviseHit(a cache.Access, set int) Advice {
 // reports whether the caller is able to decline the fill — false when the
 // set has an invalid frame, mirroring cache.Cache, which only consults
 // Victim (the bypass point) when the set is full. Its state evolution is
-// exactly the Victim+Fill (or bare Fill) sequence of the inline policy.
-// Writeback misses never allocate and leave all state untouched.
+// exactly the Victim+Fill (or bare Fill) sequence of the inline policy:
+// in adaptive mode the duel vote lands first, before any threshold read,
+// at both decision points. Writeback misses never allocate and leave all
+// state untouched.
 func (v *Advisor) AdviseMiss(a cache.Access, set int, mayBypass bool) Advice {
 	if a.Type == trace.Writeback {
 		return Advice{Bypass: true}
 	}
+	v.duelVote(set)
 	conf := v.pred.predict(a, set, true, v.sampler.sampledSet(set) >= 0)
 	v.train(a, set, conf)
-	if mayBypass && v.params.BypassEnabled && conf > v.params.Tau0 {
+	ts := v.thresholdsFor(set)
+	if mayBypass && v.params.BypassEnabled && conf > ts.Tau0 {
 		v.Bypasses++
 		v.pred.observe(a, set, true, false)
 		return Advice{Conf: int16(conf), Bypass: true}
 	}
-	pos, slot := v.placement(conf)
+	pos, slot := ts.placement(conf)
 	v.Placements[slot]++
 	v.pred.observe(a, set, true, true)
 	return Advice{Conf: int16(conf), Pos: int8(pos), Slot: uint8(slot)}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"mpppb/internal/cache"
+	"mpppb/internal/policy"
 	"mpppb/internal/predictor"
 	"mpppb/internal/trace"
 )
@@ -23,7 +24,7 @@ type Hybrid struct {
 	sets    int
 	psel    int
 	pselMax int
-	stride  int
+	kind    []uint8 // per-set leader classification, see policy.LeaderKinds
 
 	// MPPPBDecisions and HawkeyeDecisions count victim choices delegated
 	// to each constituent in follower sets.
@@ -31,36 +32,23 @@ type Hybrid struct {
 	HawkeyeDecisions uint64
 }
 
-// hybridLeaders is the number of leader sets per constituent policy.
-const hybridLeaders = 32
-
-// NewHybrid builds the set-dueling combination for an LLC geometry.
+// NewHybrid builds the set-dueling combination for an LLC geometry. Leader
+// layout is the complement-select arrangement shared with DRRIP and DIP
+// (policy.LeaderKinds): the previous modulo layout assigned unequal leader
+// counts at odd set counts, biasing the duel toward MPPPB.
 func NewHybrid(sets, ways int, params Params) *Hybrid {
-	stride := sets / hybridLeaders
-	if stride < 2 {
-		stride = 2
-	}
 	return &Hybrid{
 		mpppb:   NewMPPPB(sets, ways, params),
 		hawkeye: predictor.NewHawkeye(sets, ways),
 		sets:    sets,
 		pselMax: 512,
-		stride:  stride,
+		kind:    policy.LeaderKinds(sets),
 	}
 }
 
 // leaderKind classifies a set: 0 = MPPPB leader, 1 = Hawkeye leader,
 // 2 = follower.
-func (h *Hybrid) leaderKind(set int) int {
-	switch set % h.stride {
-	case 0:
-		return 0
-	case h.stride / 2:
-		return 1
-	default:
-		return 2
-	}
-}
+func (h *Hybrid) leaderKind(set int) int { return int(h.kind[set]) }
 
 // useMPPPB decides which constituent manages a set right now.
 func (h *Hybrid) useMPPPB(set int) bool {

@@ -13,7 +13,7 @@ func TestHybridLeaderAssignment(t *testing.T) {
 	for s := 0; s < 2048; s++ {
 		counts[h.leaderKind(s)]++
 	}
-	if counts[0] != hybridLeaders || counts[1] != hybridLeaders {
+	if counts[0] != 32 || counts[1] != 32 {
 		t.Fatalf("leader counts %v", counts)
 	}
 }
@@ -50,10 +50,51 @@ func TestHybridPSELVoting(t *testing.T) {
 	}
 }
 
+// Regression test for the Hybrid PSEL audit: the counter must saturate
+// at ±pselMax, not wrap — a wrapped PSEL hands followers to the losing
+// constituent exactly when the evidence against it peaks.
+func TestHybridPSELSaturates(t *testing.T) {
+	h := NewHybrid(128, 16, SingleThreadParams())
+	mLeader, hLeader := -1, -1
+	for s := 0; s < 128 && (mLeader < 0 || hLeader < 0); s++ {
+		switch h.leaderKind(s) {
+		case 0:
+			if mLeader < 0 {
+				mLeader = s
+			}
+		case 1:
+			if hLeader < 0 {
+				hLeader = s
+			}
+		}
+	}
+	a := cache.Access{PC: 0x400, Addr: 0, Type: trace.Load}
+	for i := 0; i < 2*h.pselMax+10; i++ {
+		h.Victim(mLeader, a)
+		if h.psel < -h.pselMax {
+			t.Fatalf("PSEL wrapped below -%d: %d", h.pselMax, h.psel)
+		}
+	}
+	if h.psel != -h.pselMax {
+		t.Fatalf("PSEL did not saturate at -%d: %d", h.pselMax, h.psel)
+	}
+	for i := 0; i < 4*h.pselMax+10; i++ {
+		h.Victim(hLeader, a)
+		if h.psel > h.pselMax {
+			t.Fatalf("PSEL wrapped above %d: %d", h.pselMax, h.psel)
+		}
+	}
+	if h.psel != h.pselMax {
+		t.Fatalf("PSEL did not saturate at %d: %d", h.pselMax, h.psel)
+	}
+}
+
 func TestHybridFollowsWinner(t *testing.T) {
-	h := NewHybrid(64, 16, SingleThreadParams())
+	// 128 sets: the complement-select layout keeps half the sets followers
+	// (64 sets would make every set a leader, like DRRIP at sets == 2*32).
+	h := NewHybrid(128, 16, SingleThreadParams())
 	follower := -1
-	for s := 0; s < 64; s++ {
+	for s := 0; s < 128; s++ {
 		if h.leaderKind(s) == 2 {
 			follower = s
 			break

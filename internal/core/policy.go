@@ -48,6 +48,56 @@ type Params struct {
 	Cores int
 	// BypassEnabled allows disabling bypass (used by some experiments).
 	BypassEnabled bool
+	// Duel, when non-nil, enables adaptive threshold set-dueling: the
+	// Tau/Pi/PromotePos fields above become duel candidate 0 and follower
+	// sets migrate to whichever candidate's leader sets miss least (see
+	// adaptive.go). The JSON omitempty keeps static parameterizations'
+	// journal keys unchanged.
+	Duel *DuelConfig `json:",omitempty"`
+}
+
+// maxPlacementPosition is the largest valid placement/promotion position
+// in a default policy's position space: 15 MDPP recency positions or 3
+// SRRIP RRPVs. Geometry-specific bounds (an MDPP cache with fewer ways)
+// are checked at runtime by MPPPB.CheckInvariants.
+func maxPlacementPosition(d DefaultPolicy) int {
+	if d == DefaultSRRIP {
+		return int(policy.RRPVMax)
+	}
+	return 15
+}
+
+// Validate checks the documented parameter invariants: a non-empty feature
+// set, the descending miss-side threshold ordering Tau1 > Tau2 > Tau3,
+// placement and promotion positions inside the default policy's position
+// space, positive sampler/training/core dimensions, and — in adaptive
+// mode — the same invariants on every duel candidate. NewAdvisor (and so
+// NewMPPPB and the serving layer) panic on a violation: a mis-ordered
+// configuration from a search or a hand-rolled duel candidate would
+// otherwise silently make placement tiers unreachable.
+func (p Params) Validate() error {
+	if len(p.Features) == 0 {
+		return fmt.Errorf("params: empty feature set")
+	}
+	maxPos := maxPlacementPosition(p.Default)
+	if err := p.Thresholds().validate(maxPos); err != nil {
+		return fmt.Errorf("params: %v", err)
+	}
+	if p.SamplerSets < 1 {
+		return fmt.Errorf("params: SamplerSets %d < 1", p.SamplerSets)
+	}
+	if p.Theta < 1 {
+		return fmt.Errorf("params: Theta %d < 1", p.Theta)
+	}
+	if p.Cores < 1 {
+		return fmt.Errorf("params: Cores %d < 1", p.Cores)
+	}
+	if p.Duel != nil {
+		if err := p.Duel.withDefaults(p).validate(maxPos); err != nil {
+			return fmt.Errorf("params: %v", err)
+		}
+	}
+	return nil
 }
 
 // SingleThreadParams returns the single-thread configuration: Table 1
@@ -167,23 +217,29 @@ func (m *MPPPB) CheckInvariants() error {
 	if m.mdpp != nil {
 		limit = m.mdpp.Positions()
 	}
-	for i, pi := range m.params.Pi {
-		if pi < 0 || pi >= limit {
-			return fmt.Errorf("core: placement position Pi[%d]=%d outside [0,%d)", i, pi, limit)
+	for c, ts := range m.thresholdSets() {
+		for i, pi := range ts.Pi {
+			if pi < 0 || pi >= limit {
+				return fmt.Errorf("core: candidate %d placement position Pi[%d]=%d outside [0,%d)", c, i, pi, limit)
+			}
 		}
-	}
-	if m.params.PromotePos < 0 || m.params.PromotePos >= limit {
-		return fmt.Errorf("core: promotion position %d outside [0,%d)", m.params.PromotePos, limit)
+		if ts.PromotePos < 0 || ts.PromotePos >= limit {
+			return fmt.Errorf("core: candidate %d promotion position %d outside [0,%d)", c, ts.PromotePos, limit)
+		}
 	}
 	return m.CheckState()
 }
 
 // Name implements cache.ReplacementPolicy.
 func (m *MPPPB) Name() string {
+	name := "mpppb-srrip"
 	if m.params.Default == DefaultMDPP {
-		return "mpppb-mdpp"
+		name = "mpppb-mdpp"
 	}
-	return "mpppb-srrip"
+	if m.duel != nil {
+		name += "-adaptive"
+	}
+	return name
 }
 
 // Hit implements cache.ReplacementPolicy: predict, train, and decide
@@ -194,13 +250,14 @@ func (m *MPPPB) Hit(set, way int, a cache.Access) {
 		return
 	}
 	conf := m.predictAndTrain(a, set, false)
-	if conf > m.params.Tau4 {
+	ts := m.thresholdsFor(set)
+	if conf > ts.Tau4 {
 		m.NoPromotes++
 	} else {
 		if m.mdpp != nil {
-			m.mdpp.PromoteAt(set, way, m.params.PromotePos)
+			m.mdpp.PromoteAt(set, way, ts.PromotePos)
 		} else {
-			m.srrip.SetRRPV(set, way, uint8(m.params.PromotePos))
+			m.srrip.SetRRPV(set, way, uint8(ts.PromotePos))
 		}
 	}
 	m.pred.observe(a, set, false, true)
@@ -209,10 +266,16 @@ func (m *MPPPB) Hit(set, way int, a cache.Access) {
 // Victim implements cache.ReplacementPolicy: decide bypass, else delegate
 // victim selection to the default policy.
 func (m *MPPPB) Victim(set int, a cache.Access) (int, bool) {
+	// In adaptive mode the duel vote lands first, before any threshold
+	// read — the same point AdviseMiss votes — so the inline and serving
+	// paths evolve identically. The paired Fill reads the same window's
+	// winner: no duel event can land between a Victim and its Fill.
+	m.duelVote(set)
 	// The index vector is consumed by train — immediately on bypass, or at
 	// Fill through the memo — and only for sampled sets.
 	conf := m.pred.predict(a, set, true, m.sampler.sampledSet(set) >= 0)
-	if m.params.BypassEnabled && conf > m.params.Tau0 {
+	ts := m.thresholdsFor(set)
+	if m.params.BypassEnabled && conf > ts.Tau0 {
 		// Bypassed: Fill will not run, so train and update state here. The
 		// Confidence call above already computed this access's indices.
 		m.train(a, set, conf)
@@ -239,15 +302,18 @@ func (m *MPPPB) Fill(set, way int, a cache.Access) {
 	var conf int
 	if m.pendValid && m.pendSet == set && m.pendBlock == a.Block() && m.pendPC == a.PC {
 		// Same access Victim just predicted, with no predictor activity in
-		// between: the confidence and index vector are still valid.
+		// between: the confidence and index vector are still valid. Victim
+		// already voted this miss with the duel.
 		conf = m.pendConf
 		m.train(a, set, conf)
 	} else {
 		// Fill without a preceding Victim (invalid frame) — predict here.
+		// This is the miss's only hook, so the duel vote lands here.
+		m.duelVote(set)
 		conf = m.predictAndTrain(a, set, true)
 	}
 	m.pendValid = false
-	pos, slot := m.placement(conf)
+	pos, slot := m.thresholdsFor(set).placement(conf)
 	m.Placements[slot]++
 	if m.mdpp != nil {
 		m.mdpp.PlaceAt(set, way, pos)

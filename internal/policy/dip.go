@@ -58,15 +58,14 @@ type DIP struct {
 	rng     *xrand.RNG
 	psel    int
 	pselMax int
-	stride  int
+	kind    []uint8 // per-set leader classification, see leaderKinds
 }
 
-// NewDIP constructs DIP with 32 leader sets per policy.
+// NewDIP constructs DIP with 32 leader sets per policy. Leader layout is
+// the complement-select arrangement shared with DRRIP (leaderKinds): the
+// previous modulo layout assigned unequal leader counts at odd set counts,
+// biasing the duel toward LRU.
 func NewDIP(sets, ways int, seed uint64) *DIP {
-	stride := sets / 32
-	if stride < 2 {
-		stride = 2
-	}
 	return &DIP{
 		lru:     NewLRU(sets, ways),
 		sets:    sets,
@@ -74,21 +73,12 @@ func NewDIP(sets, ways int, seed uint64) *DIP {
 		epsilon: 32,
 		rng:     xrand.New(seed),
 		pselMax: 512,
-		stride:  stride,
+		kind:    leaderKinds(sets),
 	}
 }
 
 // leaderKind: 0 = LRU leader, 1 = BIP leader, 2 = follower.
-func (d *DIP) leaderKind(set int) int {
-	switch set % d.stride {
-	case 0:
-		return 0
-	case d.stride / 2:
-		return 1
-	default:
-		return 2
-	}
-}
+func (d *DIP) leaderKind(set int) int { return int(d.kind[set]) }
 
 // Name implements cache.ReplacementPolicy.
 func (d *DIP) Name() string { return "dip" }

@@ -18,7 +18,9 @@ type DynMDPP struct {
 	candidates [][2]int
 	// misses counts leader-set misses per candidate since the last decay.
 	misses []uint32
-	stride int
+	// kind maps each set to the candidate whose leader group owns it, or
+	// -1 for followers (see DuelLeaders).
+	kind []int16
 	// decayPeriod halves the miss counters periodically so the duel
 	// tracks phase changes.
 	decayPeriod uint32
@@ -41,23 +43,19 @@ func NewDynMDPP(sets, ways int) *DynMDPP {
 		decayPeriod: 8192,
 	}
 	d.misses = make([]uint32, len(d.candidates))
-	d.stride = sets / (16 * len(d.candidates))
-	// At least one follower slot must exist between leader groups.
-	if d.stride < 2*len(d.candidates) {
-		d.stride = 2 * len(d.candidates)
-	}
+	// Up to 64 leader groups of one set per candidate, evenly spread (the
+	// same layout the previous modulo scheme produced at power-of-two set
+	// counts, without its degeneracies: at non-divisible geometries the
+	// modulo layout gave candidates unequal leader counts, and at tiny ones
+	// it left some candidates with no leaders at all, letting their
+	// untouched zero miss counters win the duel unevaluated).
+	d.kind = DuelLeaders(sets, len(d.candidates), 64)
 	return d
 }
 
 // leader returns the candidate index whose leader group owns the set, or
 // -1 for follower sets.
-func (d *DynMDPP) leader(set int) int {
-	r := set % d.stride
-	if r < len(d.candidates) {
-		return r
-	}
-	return -1
-}
+func (d *DynMDPP) leader(set int) int { return int(d.kind[set]) }
 
 // best returns the candidate with the fewest leader misses.
 func (d *DynMDPP) best() int {

@@ -1,0 +1,48 @@
+package policy
+
+// Leader-set assignment helpers shared by every set-dueling policy (DIP,
+// DRRIP, DynMDPP, the MPPPB+Hawkeye hybrid, and adaptive MPPPB's threshold
+// duel). The PR 3 DRRIP audit showed ad-hoc modulo layouts degenerate at
+// small or non-power-of-two geometries (missing kinds, unequal counts, no
+// followers), so the generalized layout lives here once.
+
+// LeaderKinds classifies every set for a two-way duel: 0 = first-policy
+// leader, 1 = second-policy leader, 2 = follower. It is DRRIP's
+// complement-select arrangement (see leaderKinds), exported for duelers in
+// other packages.
+func LeaderKinds(sets int) []uint8 { return leaderKinds(sets) }
+
+// DuelLeaders generalizes the complement-select arrangement to an n-way
+// duel: up to maxGroups leader groups spread evenly over the sets, each
+// group dedicating one set per candidate (group j starts at floor(j*sets/g)
+// and assigns candidates 0..n-1 to consecutive sets). The result maps each
+// set to its candidate index, or -1 for follower sets.
+//
+// Guarantees, for any sets >= 0, n >= 1, maxGroups >= 0:
+//   - every candidate gets exactly g leader sets (equal counts, no bias);
+//   - leader groups never overlap (consecutive group bases are at least
+//     sets/g >= 2n apart) and never run past the last set;
+//   - at least half the sets remain followers (g <= sets/(2n));
+//   - geometries too small to duel (sets < 2n, or maxGroups == 0) get no
+//     leaders at all, so the caller's PSEL stays at its reset state
+//     deterministically instead of dueling with missing or unequal kinds.
+func DuelLeaders(sets, n, maxGroups int) []int16 {
+	kind := make([]int16, sets)
+	for i := range kind {
+		kind[i] = -1
+	}
+	if n < 1 || sets < 2*n || maxGroups < 1 {
+		return kind
+	}
+	g := sets / (2 * n)
+	if g > maxGroups {
+		g = maxGroups
+	}
+	for j := 0; j < g; j++ {
+		base := j * sets / g
+		for c := 0; c < n; c++ {
+			kind[base+c] = int16(c)
+		}
+	}
+	return kind
+}

@@ -1,0 +1,180 @@
+package policy
+
+import "testing"
+
+// TestDuelLeadersProperties pins the layout guarantees every dueler
+// depends on, across the supported geometry range: candidate groups are
+// equally sized (no candidate gets a vote advantage), kinds are in
+// range, at least half the sets are followers (the duel must not govern
+// more of the cache than it samples), and geometries too small to host
+// one full group duel nothing at all rather than dueling unevenly.
+func TestDuelLeadersProperties(t *testing.T) {
+	for _, sets := range []int{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 100, 128, 256, 1000, 1024, 2048, 4096} {
+		for _, n := range []int{1, 2, 3, 4, 8} {
+			for _, maxGroups := range []int{1, 4, 32, 64} {
+				kind := DuelLeaders(sets, n, maxGroups)
+				if len(kind) != sets {
+					t.Fatalf("sets=%d n=%d max=%d: len %d", sets, n, maxGroups, len(kind))
+				}
+				counts := make([]int, n)
+				followers := 0
+				for s, k := range kind {
+					switch {
+					case k == -1:
+						followers++
+					case int(k) >= 0 && int(k) < n:
+						counts[k]++
+					default:
+						t.Fatalf("sets=%d n=%d max=%d: set %d has kind %d out of range", sets, n, maxGroups, s, k)
+					}
+				}
+				if sets < 2*n {
+					if followers != sets {
+						t.Fatalf("sets=%d n=%d max=%d: no-duel geometry has %d leaders", sets, n, maxGroups, sets-followers)
+					}
+					continue
+				}
+				g := sets / (2 * n)
+				if g > maxGroups {
+					g = maxGroups
+				}
+				for c, got := range counts {
+					if got != g {
+						t.Fatalf("sets=%d n=%d max=%d: candidate %d has %d leaders, want %d (counts %v)",
+							sets, n, maxGroups, c, got, g, counts)
+					}
+				}
+				if followers < sets/2 {
+					t.Fatalf("sets=%d n=%d max=%d: only %d/%d followers", sets, n, maxGroups, followers, sets)
+				}
+			}
+		}
+	}
+}
+
+// TestLeaderKindsBothKindsEqual pins the two-way complement-select
+// layout: both kinds exist with equal counts (min(32, sets/2) each) and
+// every other set follows, at every geometry down to the 2-set minimum.
+func TestLeaderKindsBothKindsEqual(t *testing.T) {
+	for _, sets := range []int{2, 4, 8, 16, 64, 100, 128, 1024, 2048} {
+		kinds := LeaderKinds(sets)
+		counts := map[uint8]int{}
+		for _, k := range kinds {
+			counts[k]++
+		}
+		want := 32
+		if sets/2 < want {
+			want = sets / 2
+		}
+		if counts[0] != want || counts[1] != want {
+			t.Fatalf("sets=%d: leader counts %v, want %d each", sets, counts, want)
+		}
+		if counts[0]+counts[1]+counts[2] != sets {
+			t.Fatalf("sets=%d: kinds don't partition the sets: %v", sets, counts)
+		}
+	}
+}
+
+// Regression test for the DIP leader audit: the old modulo layout
+// (set%stride selecting leaders) assigned the two policies unequal
+// leader counts whenever 32 did not divide the set count, biasing the
+// duel toward LRU. The complement-select layout must give both policies
+// identical representation at every geometry.
+func TestDIPLeaderCountsEqual(t *testing.T) {
+	for _, sets := range []int{4, 8, 12, 48, 100, 384, 1000, 2048} {
+		d := NewDIP(sets, 8, 1)
+		counts := map[int]int{}
+		for s := 0; s < sets; s++ {
+			counts[d.leaderKind(s)]++
+		}
+		if counts[0] != counts[1] || counts[0] == 0 {
+			t.Fatalf("sets=%d: unequal leader counts %v", sets, counts)
+		}
+	}
+}
+
+// Regression test for the DIP PSEL audit: the counter must saturate at
+// ±pselMax, not wrap — a wrapped PSEL flips the follower policy at the
+// exact moment the evidence for the incumbent is strongest.
+func TestDIPPSELSaturates(t *testing.T) {
+	d := NewDIP(1024, 8, 1)
+	lruLeader, bipLeader := -1, -1
+	for s := 0; s < 1024 && (lruLeader < 0 || bipLeader < 0); s++ {
+		switch d.leaderKind(s) {
+		case 0:
+			if lruLeader < 0 {
+				lruLeader = s
+			}
+		case 1:
+			if bipLeader < 0 {
+				bipLeader = s
+			}
+		}
+	}
+	for i := 0; i < 2*d.pselMax+10; i++ {
+		d.Fill(lruLeader, 0, noAccess)
+		if d.psel < -d.pselMax {
+			t.Fatalf("PSEL wrapped below -%d: %d", d.pselMax, d.psel)
+		}
+	}
+	if d.psel != -d.pselMax {
+		t.Fatalf("PSEL did not saturate at -%d: %d", d.pselMax, d.psel)
+	}
+	for i := 0; i < 4*d.pselMax+10; i++ {
+		d.Fill(bipLeader, 0, noAccess)
+		if d.psel > d.pselMax {
+			t.Fatalf("PSEL wrapped above %d: %d", d.pselMax, d.psel)
+		}
+	}
+	if d.psel != d.pselMax {
+		t.Fatalf("PSEL did not saturate at %d: %d", d.pselMax, d.psel)
+	}
+}
+
+// Regression test for the DynMDPP leader audit: the old modulo layout
+// left some candidates with no leader sets at small geometries, so their
+// miss counters stayed at zero and they won the duel without ever being
+// evaluated. Every candidate must own at least one (equally sized)
+// leader group at every geometry large enough to duel.
+func TestDynMDPPEveryCandidateHasLeaders(t *testing.T) {
+	for _, sets := range []int{8, 12, 16, 24, 48, 64, 100, 256, 2048} {
+		d := NewDynMDPP(sets, 16)
+		counts := make([]int, len(d.candidates))
+		followers := 0
+		for s := 0; s < sets; s++ {
+			if l := d.leader(s); l >= 0 {
+				counts[l]++
+			} else {
+				followers++
+			}
+		}
+		for c, got := range counts {
+			if got == 0 {
+				t.Fatalf("sets=%d: candidate %d has no leaders (%v)", sets, c, counts)
+			}
+			if got != counts[0] {
+				t.Fatalf("sets=%d: unequal leader counts %v", sets, counts)
+			}
+		}
+		if followers < sets/2 {
+			t.Fatalf("sets=%d: only %d followers", sets, followers)
+		}
+	}
+}
+
+// TestDynMDPPTinyGeometryFollowsDefault: below the one-group-per-
+// candidate minimum the duel disables itself — every set is a follower
+// and positionsFor falls back to best() over untouched (all-zero)
+// counters, i.e. candidate 0, the classic-PLRU default. That beats the
+// old behavior of dueling with missing candidates.
+func TestDynMDPPTinyGeometryFollowsDefault(t *testing.T) {
+	d := NewDynMDPP(4, 16) // 4 sets < 2*4 candidates: no duel possible
+	for s := 0; s < 4; s++ {
+		if d.leader(s) != -1 {
+			t.Fatalf("set %d is a leader in a no-duel geometry", s)
+		}
+		if got := d.positionsFor(s); got != d.candidates[0] {
+			t.Fatalf("set %d follows %v, want default %v", s, got, d.candidates[0])
+		}
+	}
+}

@@ -389,8 +389,12 @@ func TestDIPDuelsAndFollows(t *testing.T) {
 	if d.psel >= before {
 		t.Fatal("LRU-leader fill did not vote against LRU")
 	}
+	bipLeader := 0
+	for d.leaderKind(bipLeader) != 1 {
+		bipLeader++
+	}
 	before = d.psel
-	d.Fill(d.stride/2, 0, noAccess) // BIP leader
+	d.Fill(bipLeader, 0, noAccess)
 	if d.psel <= before {
 		t.Fatal("BIP-leader fill did not vote against BIP")
 	}

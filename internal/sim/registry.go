@@ -67,6 +67,16 @@ func init() {
 		return core.NewMPPPB(sets, ways, core.MultiCoreParams())
 	})
 	Register("ship", func(sets, ways int) cache.ReplacementPolicy { return predictor.NewSHiP(sets, ways) })
+	// mpppb-adaptive duels threshold configurations online in sampled
+	// leader sets (core/adaptive.go) instead of fixing them offline; the
+	// -srrip variant runs the duel over the multi-core machine
+	// configuration.
+	Register("mpppb-adaptive", func(sets, ways int) cache.ReplacementPolicy {
+		return core.NewMPPPB(sets, ways, adaptiveParams(core.AdaptiveSingleThreadParams()))
+	})
+	Register("mpppb-adaptive-srrip", func(sets, ways int) cache.ReplacementPolicy {
+		return core.NewMPPPB(sets, ways, adaptiveParams(core.AdaptiveMultiCoreParams()))
+	})
 	// mpppb-srrip-1b runs the multi-core machine configuration with the
 	// single-thread Table 1(b) features, the cross-set observation of
 	// Section 6.4 ("this set of features ... provides reasonable
@@ -87,6 +97,24 @@ func init() {
 	Register("hybrid-srrip", func(sets, ways int) cache.ReplacementPolicy {
 		return core.NewHybrid(sets, ways, core.MultiCoreParams())
 	})
+}
+
+// duelCandidates, when non-nil, replaces the default candidate lineup of
+// the mpppb-adaptive policies for this process.
+var duelCandidates []core.ThresholdSet
+
+// SetDuelCandidates overrides the threshold sets the mpppb-adaptive
+// policies duel — the seam the cmd tools' -duel flag uses to feed
+// mpppb-tune output (offline per-workload winners) into the online duel.
+// Callers must include the candidate spec in any journal fingerprint,
+// since it changes every adaptive cell value. nil restores the defaults.
+func SetDuelCandidates(cands []core.ThresholdSet) { duelCandidates = cands }
+
+func adaptiveParams(p core.Params) core.Params {
+	if duelCandidates != nil {
+		p.Duel.Candidates = duelCandidates
+	}
+	return p
 }
 
 // Confidence looks up a ConfidenceFactory for the predictors whose

@@ -2,20 +2,32 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
 // Quantile returns the q-quantile of xs (0 <= q <= 1) by linear
 // interpolation between order statistics. xs need not be sorted. An empty
-// slice or an out-of-range q is a panic: both mean the caller's
-// measurement loop is broken, and a silent 0 would corrupt latency
-// reports the same way a silent MPKI would.
+// slice, an out-of-range q, or a NaN sample is a panic: all three mean the
+// caller's measurement loop is broken, and a silent 0 would corrupt
+// latency reports the same way a silent MPKI would. NaN is the insidious
+// case: sort.Float64sAreSorted reports false for any slice holding NaN
+// (every comparison with NaN is false), sort.Float64s leaves NaNs in
+// unspecified positions, and the interpolation then poisons or — worse —
+// silently skips them, so one bad latency sample corrupted every
+// percentile without any signal. Same policy as GeoMean on non-positive
+// input.
 func Quantile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
 		panic("stats: Quantile of empty slice")
 	}
 	if q < 0 || q > 1 {
 		panic(fmt.Sprintf("stats: Quantile with q=%g outside [0,1]", q))
+	}
+	for i, x := range xs {
+		if math.IsNaN(x) {
+			panic(fmt.Sprintf("stats: Quantile over NaN sample at index %d; a failed measurement leaked into the sample set", i))
+		}
 	}
 	sorted := xs
 	if !sort.Float64sAreSorted(xs) {

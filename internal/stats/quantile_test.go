@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // unsorted on purpose
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1},
+		{1, 4},
+		{0.5, 2.5},
+		{0.25, 1.75},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almost(got, c.want) {
+			t.Fatalf("Quantile(%v, %g) = %g, want %g", xs, c.q, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{7}, 0.9); got != 7 {
+		t.Fatalf("Quantile of singleton = %g, want 7", got)
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 4 || xs[1] != 1 || xs[2] != 3 || xs[3] != 2 {
+		t.Fatalf("Quantile mutated its input: %v", xs)
+	}
+}
+
+// Regression test: Quantile over a sample holding NaN used to return
+// garbage silently. sort.Float64sAreSorted reports false for any slice
+// holding NaN, sort.Float64s leaves NaNs in unspecified positions, and the
+// interpolation then poisons or skips them — one failed measurement
+// corrupted every percentile with no signal. The contract is now a panic,
+// same policy as GeoMean on non-positive input.
+func TestQuantileNaNPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Quantile over NaN did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "NaN") {
+			t.Fatalf("Quantile NaN panic message = %v, want mention of NaN", r)
+		}
+	}()
+	Quantile([]float64{1, math.NaN(), 3}, 0.5)
+}
+
+func TestPercentilesNaNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Percentiles over NaN did not panic")
+		}
+	}()
+	Percentiles([]float64{math.NaN(), 2}, 0.5, 0.99)
+}
+
+func TestPercentiles(t *testing.T) {
+	got := Percentiles([]float64{3, 1, 2, 4}, 0, 0.5, 1)
+	want := []float64{1, 2.5, 4}
+	for i := range want {
+		if !almost(got[i], want[i]) {
+			t.Fatalf("Percentiles[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSpread(t *testing.T) {
+	s := NewSpread([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("Spread min/max = %g/%g, want 2/9", s.Min, s.Max)
+	}
+	if !almost(s.Mean, 5) {
+		t.Fatalf("Spread mean = %g, want 5", s.Mean)
+	}
+	// Classic population-stddev example: variance 4, stddev 2.
+	if !almost(s.Stddev, 2) {
+		t.Fatalf("Spread stddev = %g, want 2", s.Stddev)
+	}
+	one := NewSpread([]float64{3.5})
+	if one.Min != 3.5 || one.Max != 3.5 || one.Stddev != 0 {
+		t.Fatalf("Spread of singleton = %+v", one)
+	}
+}
+
+func TestSpreadEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Spread of empty slice did not panic")
+		}
+	}()
+	NewSpread(nil)
+}
+
+func TestSpreadNaNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Spread over NaN did not panic")
+		}
+	}()
+	NewSpread([]float64{1, math.NaN()})
+}

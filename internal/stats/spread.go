@@ -1,0 +1,45 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Spread summarizes the variability of a sample set — min/max/stddev, not
+// just the mean — the per-workload variability report Faldu's thesis
+// argues reuse-prediction studies should publish (ROADMAP "Adaptive
+// prediction"). The experiments layer computes one per segment across
+// seeds (address-placement bases).
+type Spread struct {
+	Min, Max, Mean, Stddev float64
+}
+
+// NewSpread computes the spread of xs. The empty slice and NaN samples
+// panic, same policy as Quantile: both mean the measurement loop upstream
+// is broken. Stddev is the population standard deviation (the samples are
+// the whole population of seeds measured, not a draw from a larger one).
+func NewSpread(xs []float64) Spread {
+	if len(xs) == 0 {
+		panic("stats: Spread of empty slice")
+	}
+	s := Spread{Min: xs[0], Max: xs[0]}
+	for i, x := range xs {
+		if math.IsNaN(x) {
+			panic(fmt.Sprintf("stats: Spread over NaN sample at index %d; a failed measurement leaked into the sample set", i))
+		}
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.Stddev = math.Sqrt(ss / float64(len(xs)))
+	return s
+}

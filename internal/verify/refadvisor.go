@@ -32,9 +32,9 @@ func (r *RefAdvisor) AdviseHit(a cache.Access, set int) core.Advice {
 	conf := e.predict(a, set, false)
 	e.train(a, set, conf)
 	adv := core.Advice{Conf: int16(conf)}
-	if conf <= e.params.Tau4 {
+	if ts := e.thresholdsFor(set); conf <= ts.Tau4 {
 		adv.Promote = true
-		adv.Pos = int8(e.params.PromotePos)
+		adv.Pos = int8(ts.PromotePos)
 	}
 	e.observe(a, set, false, true)
 	return adv
@@ -47,13 +47,16 @@ func (r *RefAdvisor) AdviseMiss(a cache.Access, set int, mayBypass bool) core.Ad
 		return core.Advice{Bypass: true}
 	}
 	e := r.e
+	// The duel vote lands first, before any threshold read, mirroring
+	// core.Advisor.AdviseMiss.
+	e.vote(set)
 	conf := e.predict(a, set, true)
 	e.train(a, set, conf)
-	if mayBypass && e.params.BypassEnabled && conf > e.params.Tau0 {
+	if mayBypass && e.params.BypassEnabled && conf > e.thresholdsFor(set).Tau0 {
 		e.observe(a, set, true, false)
 		return core.Advice{Conf: int16(conf), Bypass: true}
 	}
-	pos, slot := e.placement(conf)
+	pos, slot := e.placement(set, conf)
 	e.observe(a, set, true, true)
 	return core.Advice{Conf: int16(conf), Pos: int8(pos), Slot: uint8(slot)}
 }

@@ -20,6 +20,8 @@ func TestRefAdvisorLockstep(t *testing.T) {
 	}{
 		{"single-thread", core.SingleThreadParams()},
 		{"multi-core", core.MultiCoreParams()},
+		{"adaptive", core.AdaptiveSingleThreadParams()},
+		{"adaptive-srrip", core.AdaptiveMultiCoreParams()},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			const sets = 64
@@ -101,5 +103,55 @@ func TestRefAdvisorCatchesDivergence(t *testing.T) {
 	adv.AdviseMiss(cache.Access{PC: 0x400999, Addr: 0x0, Type: trace.Load}, 0, true)
 	if err := ref.CompareState(adv); err == nil {
 		t.Fatal("CompareState missed a diverged production advisor")
+	}
+}
+
+// TestRefAdvisorCatchesDuelDivergence pins the reference duel's teeth:
+// an extra production miss (one unmirrored duel vote) and an adaptive/
+// static configuration mismatch must both surface in CompareState.
+func TestRefAdvisorCatchesDuelDivergence(t *testing.T) {
+	const sets = 64
+	params := core.AdaptiveSingleThreadParams()
+	params.SamplerSets = 16
+	adv := core.NewAdvisor(sets, params)
+	ref := NewRefAdvisor(sets, params)
+
+	// Find a duel leader set: only leader misses advance the vote state.
+	leader := -1
+	for s := 0; s < sets; s++ {
+		if adv.DuelLeaderKind(s) >= 0 {
+			leader = s
+			break
+		}
+	}
+	if leader < 0 {
+		t.Fatal("no duel leader sets")
+	}
+	a := cache.Access{PC: 0x400100, Addr: 0x10000, Type: trace.Load}
+	for i := 0; i < 100; i++ {
+		a.Addr = uint64(i) * 64
+		adv.AdviseMiss(a, leader, true)
+		ref.AdviseMiss(a, leader, true)
+	}
+	if err := ref.CompareState(adv); err != nil {
+		t.Fatalf("in-sync duel reported divergent: %v", err)
+	}
+	// One production-only miss in a leader set: predictor AND duel state
+	// drift. The reference must notice even before a window boundary.
+	adv.AdviseMiss(cache.Access{PC: 0x400999, Addr: 0xabc0, Type: trace.Load}, leader, true)
+	if err := ref.CompareState(adv); err == nil {
+		t.Fatal("CompareState missed an unmirrored duel vote")
+	}
+
+	// A reference built without the duel must refuse an adaptive advisor
+	// outright (and vice versa), not silently skip the duel comparison.
+	static := core.SingleThreadParams()
+	static.SamplerSets = 16
+	if err := NewRefAdvisor(sets, static).CompareState(adv); err == nil {
+		t.Fatal("static reference accepted an adaptive production advisor")
+	}
+	staticAdv := core.NewAdvisor(sets, static)
+	if err := ref.CompareState(staticAdv); err == nil {
+		t.Fatal("adaptive reference accepted a static production advisor")
 	}
 }

@@ -1,0 +1,131 @@
+package verify
+
+import (
+	"fmt"
+
+	"mpppb/internal/core"
+)
+
+// refDuel is the reference reimplementation of adaptive MPPPB's threshold
+// set-dueling (core/adaptive.go): its own leader-set assignment, its own
+// window and miss counters, and its own PSEL hysteresis, advanced in
+// lockstep with the production duel by the oracle's hooks. The candidate
+// lineup itself is configuration (core.Params.ResolvedDuel); everything
+// dynamic is recomputed here from scratch.
+type refDuel struct {
+	cands    []core.ThresholdSet
+	kind     []int // per set: candidate index for leaders, -1 followers
+	misses   []uint64
+	events   uint64
+	window   uint64
+	winner   int
+	psel     int
+	pselMax  int
+	switches uint64
+}
+
+func newRefDuel(sets int, d core.DuelConfig) *refDuel {
+	n := len(d.Candidates)
+	r := &refDuel{
+		cands:  d.Candidates,
+		kind:   make([]int, sets),
+		misses: make([]uint64, n),
+		window: d.Window,
+		// The incumbent opens with full hysteresis, like the production
+		// duel: a challenger needs PselMax+1 consecutive window wins.
+		psel:    d.PselMax,
+		pselMax: d.PselMax,
+	}
+	for i := range r.kind {
+		r.kind[i] = -1
+	}
+	// Naive restatement of the leader layout contract: up to Groups evenly
+	// spread groups, each assigning candidates 0..n-1 to consecutive sets,
+	// and no duel at all when the geometry lacks room for equal leader
+	// groups plus followers.
+	if n >= 1 && sets >= 2*n && d.Groups >= 1 {
+		g := sets / (2 * n)
+		if g > d.Groups {
+			g = d.Groups
+		}
+		for j := 0; j < g; j++ {
+			for c := 0; c < n; c++ {
+				r.kind[j*sets/g+c] = c
+			}
+		}
+	}
+	return r
+}
+
+// vote records one non-writeback miss, mirroring duelState.vote: leader
+// misses count for their candidate and advance the window; at the
+// boundary, the candidate with the fewest misses (lowest index on ties)
+// challenges the incumbent through the saturating PSEL counter.
+func (r *refDuel) vote(set int) {
+	k := r.kind[set]
+	if k < 0 {
+		return
+	}
+	r.misses[k]++
+	r.events++
+	if r.events < r.window {
+		return
+	}
+	best := 0
+	for i := 1; i < len(r.misses); i++ {
+		if r.misses[i] < r.misses[best] {
+			best = i
+		}
+	}
+	switch {
+	case best == r.winner:
+		if r.psel < r.pselMax {
+			r.psel++
+		}
+	case r.psel > 0:
+		r.psel--
+	default:
+		r.winner = best
+		r.switches++
+	}
+	for i := range r.misses {
+		r.misses[i] = 0
+	}
+	r.events = 0
+}
+
+// thresholds returns the configuration active for a set under the
+// reference duel.
+func (r *refDuel) thresholds(set int) *core.ThresholdSet {
+	if k := r.kind[set]; k >= 0 {
+		return &r.cands[k]
+	}
+	return &r.cands[r.winner]
+}
+
+// diff compares the reference duel's complete vote state against the
+// production advisor's, returning the first mismatch or nil.
+func (r *refDuel) diff(adv *core.Advisor) error {
+	snap, ok := adv.DuelSnapshot()
+	if !ok {
+		return fmt.Errorf("mpppb: reference duels but production advisor is static")
+	}
+	if snap.Winner != r.winner || snap.Psel != r.psel || snap.Events != r.events || snap.Switches != r.switches {
+		return fmt.Errorf("mpppb: duel state: production winner=%d psel=%d events=%d switches=%d, reference winner=%d psel=%d events=%d switches=%d",
+			snap.Winner, snap.Psel, snap.Events, snap.Switches, r.winner, r.psel, r.events, r.switches)
+	}
+	if len(snap.Misses) != len(r.misses) {
+		return fmt.Errorf("mpppb: duel tracks %d candidates, reference %d", len(snap.Misses), len(r.misses))
+	}
+	for i, m := range r.misses {
+		if uint64(snap.Misses[i]) != m {
+			return fmt.Errorf("mpppb: duel candidate %d misses: production %d, reference %d", i, snap.Misses[i], m)
+		}
+	}
+	for set := range r.kind {
+		if got := adv.DuelLeaderKind(set); got != r.kind[set] {
+			return fmt.Errorf("mpppb: duel leader kind of set %d: production %d, reference %d", set, got, r.kind[set])
+		}
+	}
+	return nil
+}

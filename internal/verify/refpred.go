@@ -61,6 +61,11 @@ type refEngine struct {
 	params core.Params
 	feats  []core.Feature
 
+	// static is the fixed threshold configuration; duel is non-nil in
+	// adaptive mode and replaces it per set (mirroring core.Advisor).
+	static core.ThresholdSet
+	duel   *refDuel
+
 	// Reference predictor state.
 	weights   [][]int8
 	hist      [][]uint64 // per core, MRU-first recent PCs, length MaxW
@@ -104,7 +109,29 @@ func newRefEngine(params core.Params, sets int) *refEngine {
 	for c := range e.hist {
 		e.hist[c] = make([]uint64, core.MaxW)
 	}
+	e.static = params.Thresholds()
+	if d, ok := params.ResolvedDuel(); ok {
+		e.duel = newRefDuel(sets, d)
+	}
 	return e
+}
+
+// thresholdsFor returns the threshold configuration active for a set,
+// mirroring core.Advisor.thresholdsFor.
+func (e *refEngine) thresholdsFor(set int) *core.ThresholdSet {
+	if e.duel != nil {
+		return e.duel.thresholds(set)
+	}
+	return &e.static
+}
+
+// vote records a non-writeback miss with the reference duel, if adaptive
+// mode is on. Mirrors core.Advisor.duelVote: exactly once per miss, before
+// any threshold read.
+func (e *refEngine) vote(set int) {
+	if e.duel != nil {
+		e.duel.vote(set)
+	}
 }
 
 func newMPPPBOracle(k *Checker, m *core.MPPPB, sets, ways int) *mpppbOracle {
@@ -270,16 +297,18 @@ func (e *refEngine) trainDemoted(ent refSampEntry, newPos int) {
 	}
 }
 
-// placement maps a confidence to a recency position per Section 3.6; slot
-// indexes the placement statistic (0 = MRU), mirroring core.Advisor.
-func (e *refEngine) placement(conf int) (pos, slot int) {
+// placement maps a confidence to a recency position per Section 3.6 under
+// the set's active thresholds; slot indexes the placement statistic
+// (0 = MRU), mirroring core.Advisor.
+func (e *refEngine) placement(set, conf int) (pos, slot int) {
+	t := e.thresholdsFor(set)
 	switch {
-	case conf > e.params.Tau1:
-		return e.params.Pi[0], 1
-	case conf > e.params.Tau2:
-		return e.params.Pi[1], 2
-	case conf > e.params.Tau3:
-		return e.params.Pi[2], 3
+	case conf > t.Tau1:
+		return t.Pi[0], 1
+	case conf > t.Tau2:
+		return t.Pi[1], 2
+	case conf > t.Tau3:
+		return t.Pi[2], 3
 	default:
 		return 0, 0
 	}
@@ -351,8 +380,8 @@ func (o *mpppbOracle) preHit(set, way int, a cache.Access) {
 	conf := o.predict(a, set, false)
 	o.compareConf(a, set, false, conf)
 	o.train(a, set, conf)
-	if conf <= o.params.Tau4 {
-		o.place(set, way, o.params.PromotePos)
+	if ts := o.thresholdsFor(set); conf <= ts.Tau4 {
+		o.place(set, way, ts.PromotePos)
 	}
 	o.observe(a, set, false, true)
 }
@@ -365,9 +394,12 @@ func (o *mpppbOracle) postHit(set, _ int, _ cache.Access) {
 }
 
 func (o *mpppbOracle) preVictim(set int, a cache.Access) {
+	// The duel vote lands first, before any threshold read, mirroring the
+	// production Victim hook.
+	o.vote(set)
 	conf := o.predict(a, set, true)
 	o.compareConf(a, set, true, conf)
-	if o.params.BypassEnabled && conf > o.params.Tau0 {
+	if o.params.BypassEnabled && conf > o.thresholdsFor(set).Tau0 {
 		o.expBypass = true
 		o.train(a, set, conf)
 		o.observe(a, set, true, false)
@@ -399,15 +431,19 @@ func (o *mpppbOracle) preFill(set, way int, a cache.Access) {
 	var conf int
 	if o.pendValid && o.pendSet == set && o.pendBlock == a.Block() && o.pendPC == a.PC {
 		// Same access the reference just predicted in preVictim; the index
-		// vector in o.idx is still that prediction's.
+		// vector in o.idx is still that prediction's, and preVictim already
+		// voted this miss with the duel.
 		conf = o.pendConf
 	} else {
+		// Fill without a preceding Victim (invalid frame) — this is the
+		// miss's only hook, so the duel vote lands here.
+		o.vote(set)
 		conf = o.predict(a, set, true)
 	}
 	o.compareConf(a, set, true, conf)
 	o.pendValid = false
 	o.train(a, set, conf)
-	pos, _ := o.placement(conf)
+	pos, _ := o.placement(set, conf)
 	o.place(set, way, pos)
 	o.observe(a, set, true, true)
 }
@@ -471,6 +507,14 @@ func (e *refEngine) diffState(adv *core.Advisor) error {
 	}
 	if prodCount != refCount {
 		return fmt.Errorf("mpppb: production sampler holds %d entries, reference %d", prodCount, refCount)
+	}
+
+	// Adaptive duel vote state, when the configuration duels.
+	if e.duel != nil {
+		return e.duel.diff(adv)
+	}
+	if _, ok := adv.DuelSnapshot(); ok {
+		return fmt.Errorf("mpppb: production advisor duels but reference is static")
 	}
 	return nil
 }

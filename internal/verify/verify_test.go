@@ -83,6 +83,18 @@ func TestOracleMPPPBOverSRRIP(t *testing.T) {
 	drive(t, c, Attach(c), 80_000, 6)
 }
 
+// TestOracleMPPPBAdaptive runs the lockstep oracle against the adaptive
+// (set-dueling) policies: the reference duel must mirror every vote the
+// inline policy takes through its Victim/Fill hooks, across both default
+// policies and their distinct position spaces.
+func TestOracleMPPPBAdaptive(t *testing.T) {
+	sets, ways := 64, 16
+	c := cache.New("llc", sets, ways, core.NewMPPPB(sets, ways, core.AdaptiveSingleThreadParams()))
+	drive(t, c, Attach(c), 80_000, 11)
+	c = cache.New("llc", sets, ways, core.NewMPPPB(sets, ways, core.AdaptiveMultiCoreParams()))
+	drive(t, c, Attach(c), 80_000, 12)
+}
+
 // TestOracleMPPPBNoBypass exercises the Victim→Fill memo path exclusively.
 func TestOracleMPPPBNoBypass(t *testing.T) {
 	sets, ways := 64, 16

@@ -245,19 +245,32 @@ func Segments() []SegmentID {
 // core a disjoint base. It panics on unknown benchmarks (programming
 // error: names come from Benchmarks/Segments or passed ParseSegmentID).
 func NewGenerator(id SegmentID, base uint64) trace.Generator {
+	return NewSeededGenerator(id, base, 0)
+}
+
+// NewSeededGenerator is NewGenerator with a measurement seed: salt 0 is
+// exactly the canonical stream every golden pins, and each other salt
+// perturbs the kernel's RNG seed, drawing a statistically equivalent but
+// distinct reference stream. This is the seed axis for variability
+// studies (figadapt's per-segment MPKI spread across seeds) — shifting
+// the address base alone cannot provide it, because a base offset lands
+// entirely above the set-index bits and leaves the simulation untouched.
+// Family benchmarks expose no seed seam, so their salt folds into the
+// address base instead; their spread across salts is legitimately zero.
+func NewSeededGenerator(id SegmentID, base, salt uint64) trace.Generator {
 	if id.Seg < 0 || id.Seg >= SegmentsPerBenchmark {
 		panic(fmt.Sprintf("workload: segment %d out of range for %s", id.Seg, id.Bench))
 	}
 	for _, b := range suite {
 		if b.Name == id.Bench {
-			g := b.make(id.Seg, seedFor(b.Name, id.Seg), base)
+			g := b.make(id.Seg, seedFor(b.Name, id.Seg)+salt*0x9e3779b97f4a7c15, base)
 			g.name = id.String()
 			g.Reset()
 			return g
 		}
 	}
 	if fb, ok := familyLookup(id.Bench); ok {
-		return fb.Make(id.Seg, base)
+		return fb.Make(id.Seg, base+salt<<36)
 	}
 	panic(fmt.Sprintf("workload: unknown benchmark %q", id.Bench))
 }

@@ -1,0 +1,76 @@
+#!/bin/sh
+# Adaptive-thresholds smoke test against the real binary: run a small
+# figadapt campaign (mpppb-adaptive dueling threshold candidates vs the
+# static default) three ways —
+#   (a) plain, as the reference TSV;
+#   (b) under -check, arming the lockstep oracle AND the reference duel
+#       (every duel vote the inline policy takes is mirrored through
+#       internal/verify's RefAdvisor; a missed or extra vote diverges);
+#   (c) with -listen, scraping the mpppb_adaptive_winner /
+#       mpppb_adaptive_switches gauges live while cells compute.
+# All three TSVs must be byte-identical: neither the oracle nor the
+# observability layer may perturb the duel. The Go tests pin the
+# library-level semantics; this script checks the end-to-end flow the
+# way a user would hit it, including the -duel flag round trip from the
+# spec format mpppb-tune prints.
+set -eu
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+BIN="$tmp/mpppb-experiments"
+go build -o "$BIN" ./cmd/mpppb-experiments
+
+PORT=${ADAPTIVE_SMOKE_PORT:-19412}
+ADDR="127.0.0.1:$PORT"
+ARGS="-id figadapt -benches astar_like,mcf_like -adapt-seeds 2 \
+      -warmup 100000 -measure 400000 -q"
+
+echo "== reference run"
+$BIN $ARGS > "$tmp/ref.tsv"
+
+echo "== lockstep -check run (reference duel armed)"
+$BIN $ARGS -check > "$tmp/checked.tsv"
+
+echo "== observed run (-listen $ADDR, adaptive gauges scraped mid-run)"
+$BIN $ARGS -listen "$ADDR" > "$tmp/obs.tsv" 2> "$tmp/obs.err" &
+pid=$!
+
+# Poll until the duel gauges appear: they register when the first
+# adaptive policy is constructed, shortly after the server binds.
+tries=0
+until curl -fsS "http://$ADDR/metrics" 2>/dev/null |
+        grep -q '^# TYPE mpppb_adaptive_winner gauge$'; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "no mpppb_adaptive_winner gauge after 10s" >&2
+        kill "$pid" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+curl -fsS "http://$ADDR/metrics" > "$tmp/metrics.txt"
+wait "$pid"
+
+echo "== checking adaptive metrics shape"
+grep -q '^# TYPE mpppb_adaptive_winner gauge$' "$tmp/metrics.txt"
+grep -q '^# TYPE mpppb_adaptive_switches counter$' "$tmp/metrics.txt"
+grep -q '^mpppb_adaptive_winner ' "$tmp/metrics.txt"
+grep -q '^mpppb_adaptive_switches ' "$tmp/metrics.txt"
+
+echo "== comparing TSVs"
+cmp "$tmp/ref.tsv" "$tmp/checked.tsv"
+cmp "$tmp/ref.tsv" "$tmp/obs.tsv"
+
+echo "== -duel flag round trip (the spec line mpppb-tune prints)"
+SIM="$tmp/mpppb-sim"
+go build -o "$SIM" ./cmd/mpppb-sim
+spec=$(go run ./cmd/mpppb-tune -mode st -combos 2 -segments 2 \
+       -warmup 50000 -measure 200000 2>/dev/null | sed -n 's/^duel: //p')
+[ -n "$spec" ] || { echo "mpppb-tune printed no duel: spec line" >&2; exit 1; }
+$SIM -bench astar_like -seg 0 -policy mpppb-adaptive -check \
+     -duel "$spec;0,-9,-38,-117,42,15,6,0,0" \
+     -warmup 100000 -measure 300000 > "$tmp/duel.tsv"
+grep -q 'mpppb-adaptive' "$tmp/duel.tsv"
+
+echo "PASS: adaptive duel byte-identical under -check and -listen; gauges live; -duel accepts tuned specs"
